@@ -1,0 +1,49 @@
+"""Benchmark fixtures: one pipeline at benchmark scale per session.
+
+Each benchmark times the *analysis* that regenerates a paper table or
+figure (the shared world is built once, outside timing) and prints the
+paper-vs-measured report so a ``--benchmark-only -s`` run reads like
+the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.collusion.appnets import CollusionGraph
+from repro.core.pipeline import PipelineResult
+from repro.experiments import common
+
+BENCH_SCALE = common.BENCH_SCALE
+BENCH_SEED = 2012
+
+
+@pytest.fixture(scope="session")
+def result() -> PipelineResult:
+    return common.get_result(scale=BENCH_SCALE, seed=BENCH_SEED, sweep=True)
+
+
+@pytest.fixture(scope="session")
+def collusion(result) -> CollusionGraph:
+    _result, graph = common.get_collusion(scale=BENCH_SCALE, seed=BENCH_SEED)
+    return graph
+
+
+@pytest.fixture()
+def run_experiment(benchmark):
+    """Time an experiment once and print its report."""
+
+    def runner(module_run, *args, rounds: int = 1):
+        report = benchmark.pedantic(
+            module_run, args=args, rounds=rounds, iterations=1
+        )
+        print()
+        print(report.render())
+        return report
+
+    return runner
+
+
+def percent(text: str) -> float:
+    """Parse '12.3%' -> 12.3 (helper for shape assertions)."""
+    return float(text.rstrip("%"))

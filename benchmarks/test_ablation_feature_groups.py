@@ -1,0 +1,33 @@
+"""Ablation — on-demand vs aggregation vs robust feature groups."""
+
+import numpy as np
+
+from repro.core.frappe import FrappeClassifier, frappe, frappe_lite, frappe_robust
+from repro.core.features import AGGREGATION_FEATURES
+
+
+def test_ablation_feature_groups(benchmark, result):
+    records, labels = result.complete_records()
+
+    def compare():
+        out = {}
+        for name, factory in (
+            ("lite", frappe_lite),
+            ("full", frappe),
+            ("robust", frappe_robust),
+        ):
+            out[name] = factory(result.extractor).cross_validate(
+                records, labels, rng=np.random.default_rng(60)
+            )
+        out["aggregation-only"] = FrappeClassifier(
+            result.extractor, features=AGGREGATION_FEATURES
+        ).cross_validate(records, labels, rng=np.random.default_rng(60))
+        return out
+
+    reports = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print()
+    for name, report in reports.items():
+        print(f"  {name}: {report}")
+    assert reports["full"].accuracy >= reports["aggregation-only"].accuracy
+    assert reports["lite"].accuracy > 0.96
+    assert reports["robust"].accuracy > 0.95

@@ -1,0 +1,32 @@
+"""Ablation — class-ratio sensitivity beyond Table 5's grid."""
+
+import numpy as np
+
+from repro.core.frappe import frappe_lite
+from repro.experiments.table5 import _cap_ratio
+
+
+def test_ablation_ratio_sweep(benchmark, result):
+    records, labels = result.complete_records()
+
+    def sweep():
+        out = {}
+        for ratio in (2.0, 7.0, 15.0):
+            classifier = frappe_lite(result.extractor)
+            out[ratio] = classifier.cross_validate(
+                records,
+                labels,
+                benign_per_malicious=_cap_ratio(labels, ratio),
+                rng=np.random.default_rng(55),
+            )
+        return out
+
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for ratio, report in reports.items():
+        print(f"  ratio {ratio}:1 -> {report}")
+        assert report.accuracy > 0.96
+    # Imbalance pushes the classifier toward fewer false positives.
+    assert (
+        reports[15.0].false_positive_rate <= reports[2.0].false_positive_rate + 0.02
+    )

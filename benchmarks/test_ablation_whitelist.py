@@ -1,0 +1,26 @@
+"""Ablation — what the popular-app whitelist buys (Sec 2.3).
+
+Without the whitelist, piggybacked popular apps (FarmVille & co.) are
+mislabelled malicious and pollute the training sample.
+"""
+
+from repro.crawler.datasets import DatasetBuilder
+
+
+def test_ablation_whitelist(benchmark, result):
+    def build_without_whitelist():
+        builder = DatasetBuilder(
+            result.world, result.monitor_report, whitelist_top_fraction=0.0
+        )
+        return builder.build(crawl=False)
+
+    bundle = benchmark.pedantic(build_without_whitelist, rounds=1, iterations=1)
+    piggybacked = result.world.piggybacked_ids()
+    polluted = piggybacked & bundle.d_sample_malicious
+    rescued = piggybacked & result.bundle.whitelist
+    print()
+    print(f"  without whitelist: {len(polluted)}/{len(piggybacked)} popular "
+          f"apps mislabelled malicious")
+    print(f"  with whitelist:    {len(rescued)}/{len(piggybacked)} rescued")
+    assert len(polluted) >= 0.7 * len(piggybacked)
+    assert not (piggybacked & result.bundle.d_sample_malicious)

@@ -1,0 +1,14 @@
+"""Figs 1/15 — the AppNet snapshot and an example neighborhood."""
+
+from repro.experiments import fig01_15
+
+
+def test_fig01_15_appnet_graph(run_experiment, result, collusion):
+    report = run_experiment(fig01_15.run, result, collusion)
+    example = fig01_15.example_neighborhood(result, collusion)
+    assert example is not None
+    _app_id, n_neighbors, coefficient, modal = example
+    # the example neighborhood is clique-like ('Death Predictor': 0.87)
+    assert n_neighbors >= 10
+    assert coefficient > 0.6
+    assert modal >= 2  # neighbors share names

@@ -1,0 +1,15 @@
+"""Fig 3 — clicks on bit.ly links posted by malicious apps."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig03
+
+
+def test_fig03_bitly_clicks(run_experiment, result):
+    report = run_experiment(fig03.run, result)
+    measured = report.measured_by_metric()
+    # Shape: most malicious apps accumulate large click totals, with a
+    # heavy 1M+ tail (60% / 20% in the paper, scaled thresholds).
+    assert percent(measured["malicious apps with short links"]) > 45
+    assert percent(measured["apps with > 100K clicks (scaled)"]) > 35
+    over_1m = percent(measured["apps with > 1M clicks (scaled)"])
+    assert 5 < over_1m < percent(measured["apps with > 100K clicks (scaled)"])

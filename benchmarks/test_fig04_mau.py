@@ -1,0 +1,13 @@
+"""Fig 4 — monthly active users of malicious apps."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig04
+
+
+def test_fig04_mau(run_experiment, result):
+    report = run_experiment(fig04.run, result)
+    measured = report.measured_by_metric()
+    median_over = percent(measured["median MAU >= 1000 (scaled)"])
+    max_over = percent(measured["max MAU >= 1000 (scaled)"])
+    assert 25 < median_over < 55  # paper: 40%
+    assert max_over > median_over  # maxima dominate medians

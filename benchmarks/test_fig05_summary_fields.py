@@ -1,0 +1,14 @@
+"""Fig 5 — summary-field completeness."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig05
+
+
+def test_fig05_summary_fields(run_experiment, result):
+    report = run_experiment(fig05.run, result)
+    measured = report.measured_by_metric()
+    for field in ("category", "company", "description"):
+        benign = percent(measured[f"benign with {field}"])
+        malicious = percent(measured[f"malicious with {field}"])
+        assert benign > malicious + 40, field
+    assert percent(measured["malicious with description"]) < 10

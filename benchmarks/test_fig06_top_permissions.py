@@ -1,0 +1,18 @@
+"""Fig 6 — top permissions per class."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig06
+
+
+def test_fig06_top_permissions(run_experiment, result):
+    report = run_experiment(fig06.run, result)
+    measured = report.measured_by_metric()
+    # publish_stream dominates malicious apps...
+    assert percent(measured["malicious requesting publish_stream"]) > 90
+    # ...and every other permission is rare for them
+    for perm in ("offline_access", "user_birthday", "email", "publish_actions"):
+        assert percent(measured[f"malicious requesting {perm}"]) < 15
+        # while benign apps request it much more often
+        assert percent(measured[f"benign requesting {perm}"]) > (
+            percent(measured[f"malicious requesting {perm}"])
+        )

@@ -1,0 +1,13 @@
+"""Fig 7 — number of permissions requested."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig07
+
+
+def test_fig07_permission_count(run_experiment, result):
+    report = run_experiment(fig07.run, result)
+    measured = report.measured_by_metric()
+    malicious_single = percent(measured["malicious requesting exactly 1"])
+    benign_single = percent(measured["benign requesting exactly 1"])
+    assert malicious_single > 90  # paper: 97%
+    assert 50 < benign_single < 75  # paper: 62%

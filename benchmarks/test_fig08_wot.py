@@ -1,0 +1,12 @@
+"""Fig 8 — WOT reputation of redirect domains."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig08
+
+
+def test_fig08_wot(run_experiment, result):
+    report = run_experiment(fig08.run, result)
+    measured = report.measured_by_metric()
+    assert percent(measured["malicious with no WOT score"]) > 60  # paper: 80%
+    assert percent(measured["malicious scoring < 5"]) > 85  # paper: 95%
+    assert percent(measured["benign scoring >= 60"]) > 70

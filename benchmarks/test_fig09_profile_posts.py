@@ -1,0 +1,11 @@
+"""Fig 9 — posts on the app profile page."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig09
+
+
+def test_fig09_profile_posts(run_experiment, result):
+    report = run_experiment(fig09.run, result)
+    measured = report.measured_by_metric()
+    assert percent(measured["malicious with empty profile"]) > 90  # paper: 97%
+    assert percent(measured["benign with empty profile"]) < 20

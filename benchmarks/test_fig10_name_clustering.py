@@ -1,0 +1,18 @@
+"""Fig 10 — name-similarity clustering per threshold."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig10
+
+
+def test_fig10_name_clustering(run_experiment, result):
+    report = run_experiment(fig10.run, result)
+    measured = report.measured_by_metric()
+    # malicious apps cluster heavily even at threshold 1.0 ...
+    assert percent(measured["malicious @ threshold 1.0"]) < 40
+    # ... benign apps barely cluster at all
+    assert percent(measured["benign @ threshold 1.0"]) > 90
+    assert percent(measured["benign @ threshold 0.7"]) > 60
+    # lowering the threshold only merges further
+    assert percent(measured["malicious @ threshold 0.7"]) <= (
+        percent(measured["malicious @ threshold 1.0"])
+    )

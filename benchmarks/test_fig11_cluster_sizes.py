@@ -1,0 +1,15 @@
+"""Fig 11 — identical-name cluster sizes."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig11
+
+
+def test_fig11_cluster_sizes(run_experiment, result):
+    report = run_experiment(fig11.run, result)
+    measured = report.measured_by_metric()
+    # the 'The App' giant cluster holds ~10% of malicious apps
+    largest = percent(measured["largest cluster / malicious apps ('The App')"])
+    assert 5 < largest < 25
+    mean = float(measured["mean apps per malicious name"])
+    assert mean > 2.5  # paper: 5 apps per name on average
+    assert percent(measured["benign clusters with > 2 apps"]) < 5

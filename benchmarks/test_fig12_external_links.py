@@ -1,0 +1,12 @@
+"""Fig 12 — external-link-to-post ratio."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig12
+
+
+def test_fig12_external_links(run_experiment, result):
+    report = run_experiment(fig12.run, result)
+    measured = report.measured_by_metric()
+    assert percent(measured["benign posting no external links"]) > 70
+    high = percent(measured["malicious with ratio >= 0.8"])
+    assert 25 < high < 60  # paper: 40%

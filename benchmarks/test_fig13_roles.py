@@ -1,0 +1,17 @@
+"""Fig 13 — promoter / promotee / dual role split."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig13
+
+
+def test_fig13_roles(run_experiment, result, collusion):
+    report = run_experiment(fig13.run, result, collusion)
+    measured = report.measured_by_metric()
+    promoters = percent(measured["promoters"])
+    promotees = percent(measured["promotees"])
+    dual = percent(measured["dual role"])
+    # paper: 25% / 58.8% / 16.2%
+    assert 15 < promoters < 40
+    assert promotees > promoters  # promotees dominate
+    assert 5 < dual < 30
+    assert abs(promoters + promotees + dual - 100) < 1

@@ -1,0 +1,12 @@
+"""Fig 14 — local clustering coefficient distribution."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig14
+
+
+def test_fig14_clustering_coeff(run_experiment, result, collusion):
+    report = run_experiment(fig14.run, result, collusion)
+    measured = report.measured_by_metric()
+    over = percent(measured["apps with coefficient > 0.74"])
+    assert 8 < over < 45  # paper: 25%
+    assert percent(measured["apps with coefficient > 0"]) > 40

@@ -1,0 +1,13 @@
+"""Fig 16 — malicious-posts-to-all-posts ratio."""
+
+from benchmarks.conftest import percent
+from repro.experiments import fig16
+
+
+def test_fig16_piggyback_ratio(run_experiment, result):
+    report = run_experiment(fig16.run, result)
+    measured = report.measured_by_metric()
+    low = percent(measured["apps with ratio < 0.2 (piggybacked)"])
+    high = percent(measured["apps with ratio > 0.8 (outright malicious)"])
+    assert low < 20  # paper: ~5% — piggybacked apps are a small tail
+    assert high > 60  # most flagged apps are outright malicious

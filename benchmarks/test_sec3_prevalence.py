@@ -1,0 +1,13 @@
+"""Sec 3 — prevalence of malicious apps."""
+
+from benchmarks.conftest import percent
+from repro.experiments import sec3
+
+
+def test_sec3_prevalence(run_experiment, result):
+    report = run_experiment(sec3.run, result)
+    measured = report.measured_by_metric()
+    fraction = percent(measured["malicious fraction of observed apps"])
+    assert 9 < fraction < 17  # paper: "at least 13%"
+    by_apps = percent(measured["flagged posts made by apps"])
+    assert 50 < by_apps < 85  # paper: 73% (= 1 - 27% app-less)

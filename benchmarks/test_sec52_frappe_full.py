@@ -1,0 +1,15 @@
+"""Sec 5.2 — FRAppE with aggregation features (the headline result)."""
+
+from repro.experiments import sec52
+
+
+def test_sec52_frappe_full(run_experiment, result):
+    report = run_experiment(sec52.run, result)
+    for metric, _paper, measured in report.rows:
+        if metric.startswith("FRAppE"):
+            acc = float(measured.split("acc=")[1].split("%")[0])
+            fp = float(measured.split("FP=")[1].split("%")[0])
+            fn = float(measured.split("FN=")[1].split("%")[0])
+            assert acc > 97.5, metric  # paper: 99.0 / 99.5
+            assert fp < 2.0, metric  # paper: 0.1 / 0.0
+            assert fn < 10.0, metric  # paper: 4.4 / 4.1

@@ -1,0 +1,15 @@
+"""Sec 6.1 — AppNet statistics."""
+
+from benchmarks.conftest import percent
+from repro.experiments import sec61
+
+
+def test_sec61_appnet_stats(run_experiment, result, collusion):
+    report = run_experiment(sec61.run, result, collusion)
+    measured = report.measured_by_metric()
+    assert int(measured["connected components"]) >= 5
+    assert percent(measured["apps colluding with > 10 others"]) > 25
+    bitly = percent(measured["site links shortened via bit.ly"])
+    assert bitly > 60  # paper: ~80% via bit.ly
+    aws = percent(measured["indirection sites hosted on AWS"])
+    assert 15 < aws < 60  # paper: one third

@@ -1,0 +1,10 @@
+"""Sec 7 — the obfuscation-robust feature subset."""
+
+from repro.experiments import sec7
+
+
+def test_sec7_robust_features(run_experiment, result):
+    report = run_experiment(sec7.run, result)
+    measured = report.measured_by_metric()["robust-features CV"]
+    acc = float(measured.split("acc=")[1].split("%")[0])
+    assert acc > 95  # paper: 98.2%

@@ -1,0 +1,14 @@
+"""Table 1 — dataset construction."""
+
+from benchmarks.conftest import percent
+from repro.experiments import table1
+
+
+def test_table1_datasets(run_experiment, result):
+    report = run_experiment(table1.run, result)
+    measured = report.measured_by_metric()
+    # Shape: malicious apps vanish from crawls far more than benign.
+    assert percent(measured["D-Summary coverage of benign"]) > 85
+    assert percent(measured["D-Summary coverage of malicious"]) < 60
+    assert percent(measured["D-Inst coverage of benign"]) < 50
+    assert percent(measured["D-Inst coverage of malicious"]) < 15

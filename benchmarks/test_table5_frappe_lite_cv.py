@@ -1,0 +1,13 @@
+"""Table 5 — FRAppE Lite cross-validation across class ratios."""
+
+from repro.experiments import table5
+
+
+def test_table5_frappe_lite_cv(run_experiment, result):
+    run_experiment(table5.run, result)
+    reports = table5.cv_at_ratios(result)
+    for name, cv in reports.items():
+        acc, fp, fn = cv.as_percentages()
+        assert acc > 96, f"{name}: accuracy {acc}"
+        assert fp < 3, f"{name}: FP {fp}"
+        assert fn < 12, f"{name}: FN {fn}"

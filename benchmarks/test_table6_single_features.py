@@ -1,0 +1,18 @@
+"""Table 6 — single-feature classifiers."""
+
+from repro.experiments import table6
+
+
+def test_table6_single_features(run_experiment, result):
+    run_experiment(table6.run, result)
+    reports = table6.single_feature_cv(result)
+    accuracies = {row: cv.accuracy for row, cv in reports.items()}
+    # Shape claims of the paper:
+    # description is among the strongest single features...
+    assert accuracies["description"] > 0.9
+    assert accuracies["profile_posts"] > 0.85
+    # ...while category/company/permission-count are weak alone
+    assert accuracies["description"] > accuracies["permission_count"]
+    assert accuracies["description"] > accuracies["company"]
+    # client-ID alone misses many malicious apps (high FN)
+    assert reports["client_id"].false_negative_rate > 0.1

@@ -1,0 +1,15 @@
+"""Table 8 — validating FRAppE's new flags."""
+
+from benchmarks.conftest import percent
+from repro.experiments import table8
+
+
+def test_table8_validation(run_experiment, result):
+    report = run_experiment(table8.run, result)
+    measured = report.measured_by_metric()
+    assert percent(measured["total validated"]) > 85  # paper: 98.5%
+    assert percent(measured["flag precision vs hidden truth"]) > 85
+    # deletion by Facebook is the dominant validator (paper: 81%)
+    deleted = measured["deleted_from_graph"]
+    fraction = float(deleted.split("(")[1].rstrip(")%"))
+    assert fraction > 60

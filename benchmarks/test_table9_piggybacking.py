@@ -1,0 +1,13 @@
+"""Table 9 — popular apps abused via prompt_feed piggybacking."""
+
+from repro.experiments import table9
+
+
+def test_table9_piggybacking(run_experiment, result):
+    run_experiment(table9.run, result)
+    found = table9.piggybacked_apps(result)
+    targets = result.world.piggybacked_ids()
+    recovered = {app_id for app_id, *_rest in found} & targets
+    assert len(recovered) >= 0.7 * len(targets)
+    # every detected app has the piggybacking signature
+    assert all(ratio < 0.2 for *_rest, ratio in found)

@@ -1,0 +1,81 @@
+"""Draw the paper's figures as ASCII plots from a simulated run.
+
+Renders the actual distribution curves (not just threshold read-offs)
+behind Figures 3, 4, 7, 9, 12, 14, and the Fig 5 bars, so a terminal
+run of the reproduction *looks* like flipping through the paper's
+evaluation section.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro.analysis.curves import ascii_bars, ascii_cdf
+from repro.collusion import CollusionAnalyzer
+from repro.config import ScaleConfig
+from repro.core import FrappePipeline
+from repro.experiments import fig03, fig04, fig05, fig07, fig09, fig12
+
+
+def main() -> None:
+    print("Running the pipeline (this builds the world once) ...\n")
+    result = FrappePipeline(ScaleConfig(scale=0.03, master_seed=17)).run(
+        sweep_unlabelled=False
+    )
+
+    clicks = list(fig03.clicks_per_malicious_app(result).values())
+    print(ascii_cdf(
+        {"malicious apps": clicks},
+        log_x=True,
+        title="Fig 3 — clicks on bit.ly links posted by malicious apps (CDF)",
+    ))
+    print()
+
+    medians, maxima = fig04.mau_of_malicious(result)
+    print(ascii_cdf(
+        {"median MAU": medians, "max MAU": maxima},
+        log_x=True,
+        title="Fig 4 — monthly active users of malicious apps (CDF)",
+    ))
+    print()
+
+    fractions = fig05.field_fractions(result)
+    rows = []
+    for field in ("category", "company", "description"):
+        rows.append((f"benign    {field}", fractions["benign"][field]))
+        rows.append((f"malicious {field}", fractions["malicious"][field]))
+    print(ascii_bars(rows, maximum=1.0,
+                     title="Fig 5 — apps providing summary fields"))
+    print()
+
+    counts = fig07.permission_counts(result)
+    print(ascii_cdf(
+        {"malicious": counts["malicious"], "benign": counts["benign"]},
+        title="Fig 7 — permissions requested per app (CDF)",
+    ))
+    print()
+
+    profile = fig09.profile_post_counts(result)
+    print(ascii_cdf(
+        {"malicious": profile["malicious"], "benign": profile["benign"]},
+        title="Fig 9 — posts in the app profile page (CDF)",
+    ))
+    print()
+
+    ratios = fig12.external_ratios(result)
+    print(ascii_cdf(
+        {"malicious": ratios["malicious"], "benign": ratios["benign"]},
+        title="Fig 12 — external-link-to-post ratio (CDF)",
+    ))
+    print()
+
+    collusion = CollusionAnalyzer(result.world, probe_visits=2000).discover()
+    coefficients = [
+        collusion.graph.local_clustering(n) for n in collusion.graph.nodes()
+    ]
+    print(ascii_cdf(
+        {"colluding apps": coefficients},
+        title="Fig 14 — local clustering coefficient (CDF)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

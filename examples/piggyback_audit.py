@@ -1,0 +1,69 @@
+"""App piggybacking: forging posts as FarmVille, and auditing for it.
+
+Walks through the Sec 6.2 vulnerability live: an attacker calls the
+``prompt_feed`` endpoint with a popular app's ID and Facebook attributes
+the spam to that app with no authentication.  Then runs the paper's
+audit — the malicious-posts-to-all-posts ratio (Fig 16) — to show how
+piggybacked apps separate from outright malicious ones, and why the
+dataset construction needs a popular-app whitelist.
+
+Run:  python examples/piggyback_audit.py
+"""
+
+from repro.config import ScaleConfig
+from repro.core import FrappePipeline
+from repro.ecosystem import run_simulation
+
+
+def demonstrate_the_exploit() -> None:
+    print("=== The prompt_feed exploit, step by step ===")
+    world = run_simulation(ScaleConfig(scale=0.01, master_seed=3))
+    victim = world.benign_population.apps[0]  # FarmVille
+    before = world.post_log.post_count(victim.app_id)
+
+    post = world.graph_api.prompt_feed(
+        api_key=victim.app_id,  # no proof we ARE FarmVille required!
+        user_id=42,
+        message="WOW I just got 5000 Facebook Credits for Free",
+        link="http://bit.ly/fake-credits",
+        day=100,
+        truth_malicious=True,
+        truth_piggybacked=True,
+    )
+    print(f"  forged a post as {victim.name!r}: the post's application "
+          f"field reads app {post.app_id} ({post.app_name!r})")
+    print(f"  {victim.name!r} post count: {before} -> "
+          f"{world.post_log.post_count(victim.app_id)}")
+    print("  recommendation to Facebook (Sec 7): authenticate the caller "
+          "of prompt_feed.\n")
+
+
+def audit_a_world() -> None:
+    print("=== Auditing a full world for piggybacking (Fig 16) ===")
+    result = FrappePipeline(ScaleConfig(scale=0.02, master_seed=3)).run(
+        sweep_unlabelled=False
+    )
+    report = result.monitor_report
+    log = result.world.post_log
+
+    flagged_apps = [
+        (app_id, flagged / total, total)
+        for app_id, (flagged, total) in report.app_post_counts.items()
+        if app_id is not None and flagged > 0
+    ]
+    low = [row for row in flagged_apps if row[1] < 0.2]
+    print(f"  {len(flagged_apps)} apps have flagged posts; "
+          f"{len(low)} show the piggybacking signature (ratio < 0.2):")
+    for app_id, ratio, total in sorted(low, key=lambda r: -r[2])[:5]:
+        name = log.app_name(app_id) or "<unknown>"
+        print(f"    {name:<28} ratio={ratio:.2f} over {total} posts")
+
+    rescued = result.world.piggybacked_ids() & result.bundle.whitelist
+    print(f"\n  the popular-app whitelist rescued "
+          f"{len(rescued)}/{len(result.world.piggybacked_ids())} "
+          "piggybacked apps from being mislabelled malicious")
+
+
+if __name__ == "__main__":
+    demonstrate_the_exploit()
+    audit_a_world()

@@ -1,0 +1,92 @@
+"""How a malicious app spreads: the Fig 2 life-cycle on a social graph.
+
+Simulates the paper's four-step operation of a malicious app over an
+explicit friendship graph: a seed user is lured into installing the
+app, the app exfiltrates the OAuth token, posts lures on the victim's
+behalf, and the victim's friends click through and install in turn —
+the epidemic the paper's click counts (Fig 3) reflect.
+
+Run:  python examples/propagation_demo.py
+"""
+
+import numpy as np
+
+from repro.platform.apps import AppRegistry
+from repro.platform.install import InstallationService
+from repro.platform.oauth import TokenService
+from repro.platform.permissions import PUBLISH_STREAM
+from repro.platform.posts import PostLog
+from repro.platform.users import SocialGraph, UserBase
+
+
+def main() -> None:
+    rng = np.random.default_rng(13)
+    n_users = 400
+    users = UserBase(n_users, rng)
+    friendships = SocialGraph(n_users, mean_friends=8, rng=rng)
+    registry = AppRegistry(rng)
+    tokens = TokenService()
+    installer = InstallationService(registry, tokens, users, rng)
+    post_log = PostLog()
+
+    scam = registry.create(
+        name="Who Viewed Profile Viewer",
+        developer_id="hacker:demo",
+        permissions=(PUBLISH_STREAM,),
+        redirect_uri="http://profilecheck1.com/lp/1",
+        truth_malicious=True,
+    )
+    exfiltrated_tokens = []  # step 5 of Fig 2: tokens forwarded to hackers
+
+    infected: set[int] = set()
+    frontier = [0]  # patient zero saw the lure off-platform
+    day = 0
+    waves = []
+    while frontier and day < 12:
+        next_frontier: list[int] = []
+        for user_id in frontier:
+            if user_id in infected:
+                continue
+            # Step 1-4 of Fig 2: visit install URL, grant permissions.
+            prompt = installer.visit_install_url(scam.app_id, day=day)
+            token = installer.accept(prompt, user_id, day=day)
+            exfiltrated_tokens.append(token)
+            infected.add(user_id)
+            # Step 6: the app posts a lure on the victim's wall.
+            post_log.new_post(
+                day=day,
+                user_id=user_id,
+                app_id=scam.app_id,
+                app_name=scam.name,
+                message="Shocking! See who viewed your profile",
+                link="http://bit.ly/whoviewed",
+                truth_malicious=True,
+            )
+            # A fraction of friends click the lure and install next wave.
+            for friend in friendships.friends(user_id):
+                if friend not in infected and rng.random() < 0.35:
+                    next_frontier.append(friend)
+        waves.append(len(infected))
+        frontier = next_frontier
+        day += 1
+
+    print("Epidemic of 'Who Viewed Profile Viewer' over a "
+          f"{n_users}-user friendship graph:")
+    for day_index, total in enumerate(waves):
+        bar = "#" * max(1, int(40 * total / max(waves[-1], 1)))
+        print(f"  day {day_index:>2}: {total:>4} infected {bar}")
+
+    print(f"\n  posts made on victims' walls: {len(post_log)}")
+    print(f"  OAuth tokens in the hackers' hands: {len(exfiltrated_tokens)}")
+    print(f"  reach: {len(infected) / n_users:.0%} of all users "
+          "(cf. Sec 3: 60% of malicious apps accumulate 100K+ clicks)")
+
+    # Facebook eventually deletes the app; every token dies with it.
+    scam.deleted_day = day
+    revoked = tokens.revoke_app(scam.app_id)
+    print(f"  after takedown: {revoked} tokens revoked, install URL now "
+          "returns an error")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a reproduction of "FRAppE: Detecting Malicious Facebook
+Applications" (Rahman, Huang, Madhyastha, Faloutsos — CoNEXT 2012).
+
+The package has three layers:
+
+* **substrates** — a simulated Facebook platform
+  (:mod:`repro.platform`), web/URL infrastructure
+  (:mod:`repro.urlinfra`), a generative app ecosystem
+  (:mod:`repro.ecosystem`), the MyPageKeeper post classifier
+  (:mod:`repro.mypagekeeper`), a crawler + dataset builder
+  (:mod:`repro.crawler`), and a from-scratch SVM stack
+  (:mod:`repro.ml`);
+* **the contribution** — FRAppE feature extraction, classifiers,
+  validation, and pipeline (:mod:`repro.core`), plus the AppNet
+  forensics (:mod:`repro.collusion`);
+* **evaluation** — one module per paper table/figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.config import ScaleConfig
+    from repro.core import FrappePipeline
+
+    result = FrappePipeline(ScaleConfig(scale=0.02)).run()
+    print(result.bundle.table1_rows())
+"""
+
+from repro.config import PAPER, PaperStats, ScaleConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["PAPER", "PaperStats", "ScaleConfig", "__version__"]

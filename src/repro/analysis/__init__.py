@@ -1,0 +1,23 @@
+"""Distribution helpers and text rendering for tables/figures."""
+
+from repro.analysis.distributions import (
+    empirical_cdf,
+    fraction_above,
+    fraction_at_least,
+    fraction_at_most,
+    fraction_below,
+)
+from repro.analysis.curves import ascii_bars, ascii_cdf
+from repro.analysis.report import ExperimentReport, render_table
+
+__all__ = [
+    "empirical_cdf",
+    "fraction_above",
+    "fraction_at_least",
+    "fraction_at_most",
+    "fraction_below",
+    "ExperimentReport",
+    "render_table",
+    "ascii_bars",
+    "ascii_cdf",
+]

@@ -1,0 +1,102 @@
+"""Text rendering of CDF/CCDF curves (the paper's figures, in ASCII).
+
+Terminal-friendly plots so a reproduction run can *show* the
+distributions behind each figure, not just threshold read-offs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.distributions import empirical_cdf
+
+__all__ = ["ascii_cdf", "ascii_bars"]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or 0 < abs(value) < 0.01:
+        return f"{value:.0e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.2f}".rstrip("0").rstrip(".")
+
+
+def ascii_cdf(
+    series: dict[str, Iterable[float]],
+    width: int = 60,
+    height: int = 12,
+    log_x: bool = False,
+    title: str = "",
+) -> str:
+    """Render one or more empirical CDFs as an ASCII plot.
+
+    Each series gets its own glyph; the y-axis runs 0..100% and the
+    x-axis spans the pooled data range (optionally log-scaled, as the
+    paper's click/MAU figures are).
+    """
+    glyphs = "*o+x#@"
+    prepared: list[tuple[str, str, np.ndarray, np.ndarray]] = []
+    pooled: list[float] = []
+    for index, (label, values) in enumerate(series.items()):
+        x, y = empirical_cdf(values)
+        if log_x:
+            keep = x > 0
+            x, y = x[keep], y[keep]
+            x = np.log10(x)
+        if len(x):
+            prepared.append((label, glyphs[index % len(glyphs)], x, y))
+            pooled.extend(x.tolist())
+    if not pooled:
+        return f"{title}\n(no data)"
+    lo, hi = min(pooled), max(pooled)
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for _label, glyph, xs, ys in prepared:
+        for x, y in zip(xs, ys):
+            col = int((x - lo) / (hi - lo) * (width - 1))
+            row = int((1.0 - y) * (height - 1))
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        fraction = 1.0 - row_index / (height - 1)
+        lines.append(f"{fraction:>4.0%} |" + "".join(row))
+    left = 10 ** lo if log_x else lo
+    right = 10 ** hi if log_x else hi
+    axis = "-" * width
+    lines.append("     +" + axis)
+    label_left = _format_tick(left)
+    label_right = _format_tick(right)
+    pad = width - len(label_left) - len(label_right)
+    lines.append("      " + label_left + " " * max(pad, 1) + label_right)
+    legend = "   ".join(
+        f"{glyph} {label}" for label, glyph, _x, _y in prepared
+    )
+    lines.append("      " + legend + ("  [log x]" if log_x else ""))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    rows: Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    maximum: float | None = None,
+) -> str:
+    """Horizontal bar chart for fraction-valued rows (Fig 5/6 style)."""
+    if maximum is None:
+        maximum = max((value for _label, value in rows), default=1.0) or 1.0
+    label_width = max((len(label) for label, _v in rows), default=0)
+    lines = [title] if title else []
+    for label, value in rows:
+        filled = int(round(width * min(value / maximum, 1.0)))
+        bar = "#" * filled
+        lines.append(f"  {label:<{label_width}} |{bar:<{width}}| {value:.1%}")
+    return "\n".join(lines)

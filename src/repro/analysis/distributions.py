@@ -1,0 +1,69 @@
+"""Empirical distribution helpers used by the figure reproductions.
+
+Every figure in the paper is a CDF/CCDF; its reproduction reduces to
+"what fraction of the population is above/below a threshold".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = [
+    "empirical_cdf",
+    "fraction_above",
+    "fraction_at_least",
+    "fraction_at_most",
+    "fraction_below",
+]
+
+
+def empirical_cdf(values: Iterable[float]) -> tuple[np.ndarray, np.ndarray]:
+    """``(x, F(x))`` of the empirical CDF, one step per sample.
+
+    >>> x, y = empirical_cdf([3, 1, 2])
+    >>> list(x), list(y)
+    ([1.0, 2.0, 3.0], [0.3333333333333333, 0.6666666666666666, 1.0])
+    """
+    data = np.sort(np.asarray(list(values), dtype=float))
+    if len(data) == 0:
+        return np.zeros(0), np.zeros(0)
+    y = np.arange(1, len(data) + 1) / len(data)
+    return data, y
+
+
+def _as_array(values: Iterable[float]) -> np.ndarray:
+    return np.asarray(list(values), dtype=float)
+
+
+def fraction_above(values: Iterable[float], threshold: float) -> float:
+    """P(X > t) — the CCDF read off at *t*."""
+    data = _as_array(values)
+    if len(data) == 0:
+        return 0.0
+    return float(np.mean(data > threshold))
+
+
+def fraction_at_least(values: Iterable[float], threshold: float) -> float:
+    """P(X >= t)."""
+    data = _as_array(values)
+    if len(data) == 0:
+        return 0.0
+    return float(np.mean(data >= threshold))
+
+
+def fraction_below(values: Iterable[float], threshold: float) -> float:
+    """P(X < t)."""
+    data = _as_array(values)
+    if len(data) == 0:
+        return 0.0
+    return float(np.mean(data < threshold))
+
+
+def fraction_at_most(values: Iterable[float], threshold: float) -> float:
+    """P(X <= t) — the CDF read off at *t*."""
+    data = _as_array(values)
+    if len(data) == 0:
+        return 0.0
+    return float(np.mean(data <= threshold))

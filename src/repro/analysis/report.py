@@ -1,0 +1,55 @@
+"""Rendering experiment results as aligned text tables.
+
+Each experiment produces an :class:`ExperimentReport` with
+paper-vs-measured rows; the benchmark harness prints them so a run's
+output reads like the paper's evaluation section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["render_table", "ExperimentReport"]
+
+
+def render_table(headers: list[str], rows: list[tuple]) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+    rule = "  ".join("-" * width for width in widths)
+    lines = [fmt(headers), rule]
+    lines.extend(fmt(row) for row in cells)
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentReport:
+    """One table/figure reproduction: paper values next to measured."""
+
+    experiment_id: str  # e.g. "table5", "fig03"
+    title: str
+    #: (metric, paper value, measured value) triples
+    rows: list[tuple[str, str, str]] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, metric: str, paper: object, measured: object) -> None:
+        self.rows.append((metric, str(paper), str(measured)))
+
+    def add_fraction(self, metric: str, paper: float, measured: float) -> None:
+        self.rows.append((metric, f"{paper:.1%}", f"{measured:.1%}"))
+
+    def render(self) -> str:
+        body = render_table(["metric", "paper", "measured"], self.rows)
+        header = f"== {self.experiment_id}: {self.title} =="
+        parts = [header, body]
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def measured_by_metric(self) -> dict[str, str]:
+        return {metric: measured for metric, _paper, measured in self.rows}

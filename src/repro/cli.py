@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``     build a world and print its vital statistics
+``experiments``  reproduce every paper table/figure (paper vs measured)
+``evaluate``     run the watchdog over app IDs (or a random sample)
+``forensics``    run the Sec 6 AppNet investigation
+``export``       write the labelled D-Sample dataset to JSON
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config import ScaleConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FRAppE (CoNEXT 2012) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.02,
+        help="simulation scale relative to the paper (default 0.02)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=2012, help="master RNG seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("simulate", help="build a world and summarise it")
+    sub.add_parser("experiments", help="reproduce every table/figure")
+    sub.add_parser("forensics", help="AppNet investigation (Sec 6)")
+
+    evaluate = sub.add_parser("evaluate", help="watchdog over app IDs")
+    evaluate.add_argument(
+        "app_ids", nargs="*", help="app IDs (random sample when omitted)"
+    )
+    evaluate.add_argument(
+        "--sample", type=int, default=8,
+        help="random apps to assess when no IDs are given",
+    )
+
+    export = sub.add_parser("export", help="export D-Sample to JSON")
+    export.add_argument("output", help="output path (.json)")
+    return parser
+
+
+def _config(args: argparse.Namespace) -> ScaleConfig:
+    return ScaleConfig(scale=args.scale, master_seed=args.seed)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.ecosystem.simulation import run_simulation
+
+    world = run_simulation(_config(args))
+    registry = world.registry
+    print(f"apps:        {len(registry)} "
+          f"({len(registry.malicious())} truly malicious)")
+    print(f"posts:       {len(world.post_log)}")
+    print(f"users:       {world.users.n_users}")
+    print(f"campaigns:   {len(world.campaigns)} "
+          f"({sum(c.plan.colluding for c in world.campaigns)} AppNets)")
+    print(f"sites:       {len(world.services.redirector)} indirection websites")
+    print(f"short links: "
+          f"{sum(len(s) for s in world.services.shorteners.values())}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import run_all
+
+    for report in run_all(args.scale, seed=args.seed):
+        print(report.render())
+        print()
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.core.pipeline import FrappePipeline
+    from repro.core.watchdog import AppWatchdog
+    from repro.crawler.crawler import AppCrawler
+
+    result = FrappePipeline(_config(args)).run(sweep_unlabelled=False)
+    watchdog = AppWatchdog(
+        result.classifier, result.extractor, AppCrawler(result.world)
+    )
+    app_ids = list(args.app_ids)
+    if not app_ids:
+        rng = np.random.default_rng(args.seed)
+        everything = sorted(result.bundle.d_total)
+        chosen = rng.choice(len(everything), size=args.sample, replace=False)
+        app_ids = [everything[i] for i in chosen]
+    for assessment in watchdog.bulk_assess(app_ids, day=400):
+        print(assessment.summary())
+    return 0
+
+
+def _cmd_forensics(args: argparse.Namespace) -> int:
+    from repro.collusion import CollusionAnalyzer
+    from repro.ecosystem.simulation import run_simulation
+
+    world = run_simulation(_config(args))
+    analyzer = CollusionAnalyzer(world)
+    collusion = analyzer.discover()
+    stats = analyzer.stats(collusion)
+    print(f"colluding apps: {stats.n_colluding}")
+    print(f"roles: {stats.n_promoters} promoters / "
+          f"{stats.n_promotees} promotees / {stats.n_dual} dual")
+    print(f"components: {stats.n_components} "
+          f"(top: {stats.top_component_sizes})")
+    print(f"indirection sites: {collusion.indirection.n_sites}")
+    print(f"hosting: {analyzer.hosting_providers(collusion)}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core.pipeline import FrappePipeline
+    from repro.io import export_dataset
+
+    result = FrappePipeline(_config(args)).run(sweep_unlabelled=False)
+    path = export_dataset(result, args.output)
+    print(f"wrote {path} "
+          f"({len(result.bundle.d_sample)} labelled records)")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _cmd_simulate,
+    "experiments": _cmd_experiments,
+    "evaluate": _cmd_evaluate,
+    "forensics": _cmd_forensics,
+    "export": _cmd_export,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

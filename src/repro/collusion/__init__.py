@@ -1,0 +1,23 @@
+"""AppNet forensics (Sec 6).
+
+Rediscovers the collusion (promoter/promotee) graph from observed posts:
+direct links to other apps' installation URLs, and shortened links to
+indirection websites that are probed repeatedly to enumerate the apps
+they forward to — the paper's own measurement method.
+"""
+
+from repro.collusion.graph import DirectedGraph
+from repro.collusion.appnets import (
+    AppNetStats,
+    CollusionAnalyzer,
+    CollusionGraph,
+    IndirectionStats,
+)
+
+__all__ = [
+    "DirectedGraph",
+    "AppNetStats",
+    "CollusionAnalyzer",
+    "CollusionGraph",
+    "IndirectionStats",
+]

@@ -1,0 +1,223 @@
+"""Discovering and quantifying AppNets from observed posts (Sec 6.1).
+
+The analyzer follows the paper's method:
+
+1. scan posted links; expand shortened URLs through the shorteners'
+   APIs (some fail — private/deleted links),
+2. a link to ``facebook.com/apps/application.php?id=X`` is a *direct*
+   promotion edge from the posting app to X,
+3. a link to an external website that forwards to app installation
+   pages is an *indirection* site; each is probed repeatedly (the paper
+   followed every site 100 times a day for 1.5 months) to enumerate the
+   promoted apps,
+4. the resulting directed graph is analysed: roles (promoter /
+   promotee / dual), components, degrees, clustering, hosting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.collusion.graph import DirectedGraph
+from repro.urlinfra.url import Url
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ecosystem.simulation import SimulatedWorld
+
+__all__ = ["CollusionGraph", "IndirectionStats", "AppNetStats", "CollusionAnalyzer"]
+
+_INSTALL_PATH = "/apps/application.php"
+
+
+@dataclass
+class IndirectionStats:
+    """What the indirection-site probe discovered (Sec 6.1b)."""
+
+    #: site URL -> set of app IDs observed landing there
+    site_targets: dict[str, set[str]] = field(default_factory=dict)
+    #: site URL -> promoter app IDs that posted (short links to) it
+    site_promoters: dict[str, set[str]] = field(default_factory=dict)
+    #: how many of the posted links to sites were shortened via bit.ly
+    bitly_links: int = 0
+    total_short_links: int = 0
+
+    @property
+    def n_sites(self) -> int:
+        return len(self.site_targets)
+
+    def promoters(self) -> set[str]:
+        return set().union(*self.site_promoters.values()) if self.site_promoters else set()
+
+    def promotees(self) -> set[str]:
+        return set().union(*self.site_targets.values()) if self.site_targets else set()
+
+    def sites_over(self, n_apps: int) -> int:
+        return sum(1 for t in self.site_targets.values() if len(t) > n_apps)
+
+
+@dataclass
+class CollusionGraph:
+    """The discovered promotion graph plus per-mechanism detail."""
+
+    graph: DirectedGraph
+    #: edges discovered through direct install-URL links
+    direct_edges: set[tuple[str, str]] = field(default_factory=set)
+    indirection: IndirectionStats = field(default_factory=IndirectionStats)
+
+    def promoters(self) -> set[str]:
+        """Apps that only promote (out-edges, no in-edges)."""
+        g = self.graph
+        return {
+            n for n in g.nodes() if g.out_degree(n) > 0 and g.in_degree(n) == 0
+        }
+
+    def promotees(self) -> set[str]:
+        """Apps that are only promoted."""
+        g = self.graph
+        return {
+            n for n in g.nodes() if g.in_degree(n) > 0 and g.out_degree(n) == 0
+        }
+
+    def dual_role(self) -> set[str]:
+        g = self.graph
+        return {
+            n for n in g.nodes() if g.in_degree(n) > 0 and g.out_degree(n) > 0
+        }
+
+    def direct_promoters(self) -> set[str]:
+        return {src for src, _ in self.direct_edges}
+
+    def direct_promotees(self) -> set[str]:
+        return {dst for _, dst in self.direct_edges}
+
+
+@dataclass(frozen=True)
+class AppNetStats:
+    """The summary numbers Sec 6.1 reports."""
+
+    n_colluding: int
+    n_promoters: int
+    n_promotees: int
+    n_dual: int
+    n_components: int
+    top_component_sizes: tuple[int, ...]
+    degree_over_10_fraction: float
+    max_degree: int
+    clustering_over_074_fraction: float
+    largest_component_average_degree: float
+
+
+class CollusionAnalyzer:
+    """Runs the Sec 6 forensics over a simulated world's post log."""
+
+    def __init__(self, world: "SimulatedWorld", probe_visits: int = 4500) -> None:
+        self._world = world
+        self._probe_visits = probe_visits
+
+    # -- discovery ------------------------------------------------------
+
+    def discover(self) -> CollusionGraph:
+        """Build the collusion graph from every posted link."""
+        world = self._world
+        result = CollusionGraph(graph=DirectedGraph())
+        #: long URL -> set of poster app IDs, expanding short links once
+        posters_by_long_url: dict[str, set[str]] = {}
+        for app_id in world.post_log.app_ids():
+            for url in world.post_log.urls_of_app(app_id):
+                long_url, was_bitly, was_short = self._expand(url)
+                if long_url is None:
+                    continue
+                entry = posters_by_long_url.setdefault(long_url, set())
+                if was_short and world.services.redirector.is_indirection(long_url):
+                    result.indirection.total_short_links += 1
+                    result.indirection.bitly_links += int(was_bitly)
+                entry.add(app_id)
+
+        for long_url, posters in posters_by_long_url.items():
+            target = self._direct_target(long_url)
+            if target is not None:
+                for poster in posters:
+                    if poster != target:
+                        result.graph.add_edge(poster, target)
+                        result.direct_edges.add((poster, target))
+                continue
+            if world.services.redirector.is_indirection(long_url):
+                landed = world.services.redirector.probe(
+                    long_url, self._probe_visits
+                )
+                result.indirection.site_targets[long_url] = landed
+                result.indirection.site_promoters[long_url] = set(posters)
+                for poster in posters:
+                    for target in landed:
+                        if poster != target:
+                            result.graph.add_edge(poster, target)
+        return result
+
+    def _expand(self, url: str) -> tuple[str | None, bool, bool]:
+        """Resolve *url*: returns (long URL or None, via bit.ly, was short)."""
+        for domain, shortener in self._world.services.shorteners.items():
+            if shortener.owns(url):
+                return shortener.expand(url), domain == "bit.ly", True
+        return url, False, False
+
+    @staticmethod
+    def _direct_target(url: str) -> str | None:
+        """App ID if *url* is an app installation URL, else None."""
+        try:
+            parsed = Url.parse(url)
+        except ValueError:
+            return None
+        if parsed.domain == "facebook.com" and parsed.path == _INSTALL_PATH:
+            return parsed.params.get("id")
+        return None
+
+    # -- statistics ------------------------------------------------------------
+
+    def stats(self, collusion: CollusionGraph, top_n: int = 5) -> AppNetStats:
+        graph = collusion.graph
+        nodes = graph.nodes()
+        components = graph.connected_components()
+        degrees = [graph.degree(n) for n in nodes]
+        coefficients = [graph.local_clustering(n) for n in nodes]
+        largest = components[0] if components else set()
+        return AppNetStats(
+            n_colluding=len(nodes),
+            n_promoters=len(collusion.promoters()),
+            n_promotees=len(collusion.promotees()),
+            n_dual=len(collusion.dual_role()),
+            n_components=len(components),
+            top_component_sizes=tuple(len(c) for c in components[:top_n]),
+            degree_over_10_fraction=(
+                sum(1 for d in degrees if d > 10) / len(degrees) if degrees else 0.0
+            ),
+            max_degree=max(degrees, default=0),
+            clustering_over_074_fraction=(
+                sum(1 for c in coefficients if c > 0.74) / len(coefficients)
+                if coefficients
+                else 0.0
+            ),
+            largest_component_average_degree=graph.average_degree(largest),
+        )
+
+    def hosting_providers(self, collusion: CollusionGraph) -> dict[str, int]:
+        """Provider -> number of indirection sites hosted there."""
+        histogram = self._world.services.hosting.provider_histogram(
+            list(collusion.indirection.site_targets)
+        )
+        return dict(histogram)
+
+    def name_reuse(self, collusion: CollusionGraph) -> tuple[int, int]:
+        """(unique promoter names, unique promotee names) via sites."""
+        registry = self._world.registry
+        promoter_names = {
+            registry.get(a).name
+            for a in collusion.indirection.promoters()
+            if a in registry
+        }
+        promotee_names = {
+            registry.get(a).name
+            for a in collusion.indirection.promotees()
+            if a in registry
+        }
+        return len(promoter_names), len(promotee_names)

@@ -1,0 +1,43 @@
+"""FRAppE — the paper's primary contribution.
+
+Feature extraction over crawl records and the post log (Sec 4), the
+FRAppE Lite / FRAppE / robust-variant SVM classifiers (Secs 5.1, 5.2,
+7), the Sec 5.3 validation of newly flagged apps, and an end-to-end
+pipeline tying the whole measurement chain together.
+"""
+
+from repro.core.features import (
+    AGGREGATION_FEATURES,
+    ON_DEMAND_FEATURES,
+    ROBUST_FEATURES,
+    FeatureExtractor,
+)
+from repro.core.frappe import FrappeClassifier, frappe, frappe_lite, frappe_robust
+from repro.core.validation import FlagValidator, ValidationResult
+from repro.core.pipeline import FrappePipeline, PipelineResult
+from repro.core.recommendations import (
+    PolicyReport,
+    PromotionBlocker,
+    PromptFeedAuthenticator,
+)
+from repro.core.watchdog import AppAssessment, AppWatchdog
+
+__all__ = [
+    "AGGREGATION_FEATURES",
+    "ON_DEMAND_FEATURES",
+    "ROBUST_FEATURES",
+    "FeatureExtractor",
+    "FrappeClassifier",
+    "frappe",
+    "frappe_lite",
+    "frappe_robust",
+    "FlagValidator",
+    "ValidationResult",
+    "FrappePipeline",
+    "PipelineResult",
+    "PolicyReport",
+    "PromotionBlocker",
+    "PromptFeedAuthenticator",
+    "AppAssessment",
+    "AppWatchdog",
+]

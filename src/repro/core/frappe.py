@@ -1,0 +1,121 @@
+"""The FRAppE classifiers (Secs 5.1, 5.2, 7).
+
+All variants are the same machine — an RBF SVM with libsvm-default
+parameters (C = 1) over standardised features — differing only in which
+feature group they consume:
+
+* :func:`frappe_lite` — on-demand features only (Table 4),
+* :func:`frappe` — on-demand + aggregation-based features (Table 7),
+* :func:`frappe_robust` — only the features Sec 7 argues hackers cannot
+  cheaply obfuscate,
+* ``FrappeClassifier(extractor, features=("has_description",))`` — the
+  single-feature classifiers of Table 6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.features import (
+    ALL_FEATURES,
+    ON_DEMAND_FEATURES,
+    ROBUST_FEATURES,
+    FeatureExtractor,
+)
+from repro.crawler.crawler import CrawlRecord
+from repro.ml.crossval import cross_validate, subsample_to_ratio
+from repro.ml.metrics import ClassificationReport
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import SVC
+
+__all__ = ["FrappeClassifier", "frappe_lite", "frappe", "frappe_robust"]
+
+
+class FrappeClassifier:
+    """SVM over a configurable feature group."""
+
+    def __init__(
+        self,
+        extractor: FeatureExtractor,
+        features: tuple[str, ...] = ALL_FEATURES,
+        c: float = 1.0,
+        kernel: str = "rbf",
+        gamma: str | float = "auto",
+    ) -> None:
+        if not features:
+            raise ValueError("need at least one feature")
+        self.features = tuple(features)
+        self._extractor = extractor
+        self._svm_params = {"c": c, "kernel": kernel, "gamma": gamma}
+        self._scaler: StandardScaler | None = None
+        self._svm: SVC | None = None
+
+    def _matrix(self, records: list[CrawlRecord]) -> np.ndarray:
+        return self._extractor.matrix(records, self.features)
+
+    # -- training / inference ----------------------------------------------
+
+    def fit(
+        self, records: list[CrawlRecord], labels: np.ndarray | list[int]
+    ) -> "FrappeClassifier":
+        x = self._matrix(records)
+        y = np.asarray(labels).astype(int)
+        self._scaler = StandardScaler().fit(x)
+        self._svm = SVC(**self._svm_params).fit(self._scaler.transform(x), y)
+        return self
+
+    def predict(self, records: list[CrawlRecord]) -> np.ndarray:
+        if self._svm is None or self._scaler is None:
+            raise RuntimeError("classifier is not fitted")
+        x = self._scaler.transform(self._matrix(records))
+        return self._svm.predict(x)
+
+    def predict_one(self, record: CrawlRecord) -> bool:
+        """Evaluate a single app — the FRAppE Lite on-demand use case."""
+        return bool(self.predict([record])[0])
+
+    def decision_function(self, records: list[CrawlRecord]) -> np.ndarray:
+        if self._svm is None or self._scaler is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._svm.decision_function(
+            self._scaler.transform(self._matrix(records))
+        )
+
+    # -- evaluation ------------------------------------------------------------
+
+    def cross_validate(
+        self,
+        records: list[CrawlRecord],
+        labels: np.ndarray | list[int],
+        k: int = 5,
+        benign_per_malicious: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> ClassificationReport:
+        """Stratified k-fold CV, optionally resampled to a class ratio.
+
+        This is the paper's Table 5 protocol: subsample D-Complete to a
+        benign:malicious ratio, then 5-fold cross-validate.
+        """
+        rng = rng or np.random.default_rng(5)
+        x = self._matrix(records)
+        y = np.asarray(labels).astype(int)
+        if benign_per_malicious is not None:
+            x, y = subsample_to_ratio(x, y, benign_per_malicious, rng)
+        return cross_validate(
+            lambda: SVC(**self._svm_params), x, y, k=k, rng=rng, scale=True
+        )
+
+
+def frappe_lite(extractor: FeatureExtractor, **svm_params) -> FrappeClassifier:
+    """FRAppE Lite: the on-demand-features-only variant (Sec 5.1)."""
+    return FrappeClassifier(extractor, ON_DEMAND_FEATURES, **svm_params)
+
+
+def frappe(extractor: FeatureExtractor, **svm_params) -> FrappeClassifier:
+    """Full FRAppE: on-demand + aggregation features (Sec 5.2)."""
+    return FrappeClassifier(extractor, ALL_FEATURES, **svm_params)
+
+
+def frappe_robust(extractor: FeatureExtractor, **svm_params) -> FrappeClassifier:
+    """The robust-features-only variant discussed in Sec 7."""
+    return FrappeClassifier(extractor, ROBUST_FEATURES, **svm_params)

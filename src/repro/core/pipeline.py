@@ -1,0 +1,145 @@
+"""The end-to-end FRAppE pipeline.
+
+Chains the complete measurement study: simulate the world → run
+MyPageKeeper over the post log → build the datasets (Table 1) → extract
+features → train FRAppE on D-Sample → sweep the unlabelled remainder of
+D-Total (Sec 5.3) → validate the flags (Table 8).
+
+Every benchmark and example consumes a :class:`PipelineResult`, so the
+expensive steps run once per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import ScaleConfig
+from repro.core.features import FeatureExtractor
+from repro.core.frappe import FrappeClassifier, frappe
+from repro.core.validation import FlagValidator, ValidationResult
+from repro.crawler.crawler import AppCrawler, CrawlRecord
+from repro.crawler.datasets import DatasetBuilder, DatasetBundle
+from repro.ecosystem.params import GenerationParams
+from repro.ecosystem.simulation import CrawlSchedule, SimulatedWorld, run_simulation
+from repro.mypagekeeper.classifier import UrlClassifier
+from repro.mypagekeeper.monitor import MonitorReport, MyPageKeeper
+
+__all__ = ["PipelineResult", "FrappePipeline"]
+
+
+@dataclass
+class PipelineResult:
+    """Everything the study produced, in dependency order."""
+
+    world: SimulatedWorld
+    monitor_report: MonitorReport
+    bundle: DatasetBundle
+    extractor: FeatureExtractor
+    classifier: FrappeClassifier
+    #: crawl records of the unlabelled (non-D-Sample) apps
+    unlabelled_records: dict[str, CrawlRecord] = field(default_factory=dict)
+    #: apps FRAppE flagged in the unlabelled remainder
+    flagged_new: set[str] = field(default_factory=set)
+    validation: ValidationResult | None = None
+
+    def sample_records(self) -> tuple[list[CrawlRecord], list[int]]:
+        """(records, labels) over D-Sample, in a stable order."""
+        records, labels = [], []
+        for app_id in sorted(self.bundle.d_sample):
+            records.append(self.bundle.records[app_id])
+            labels.append(self.bundle.label(app_id))
+        return records, labels
+
+    def complete_records(self) -> tuple[list[CrawlRecord], list[int]]:
+        """(records, labels) over D-Complete — the CV training set."""
+        benign, malicious = self.bundle.d_complete
+        records, labels = [], []
+        for app_id in sorted(benign | malicious):
+            records.append(self.bundle.records[app_id])
+            labels.append(1 if app_id in malicious else 0)
+        return records, labels
+
+
+class FrappePipeline:
+    """Builds and runs the complete study."""
+
+    def __init__(
+        self,
+        config: ScaleConfig | None = None,
+        params: GenerationParams | None = None,
+        schedule: CrawlSchedule | None = None,
+    ) -> None:
+        self._config = config or ScaleConfig()
+        self._params = params or GenerationParams()
+        self._schedule = schedule or CrawlSchedule()
+
+    def run(self, sweep_unlabelled: bool = True) -> PipelineResult:
+        world = run_simulation(self._config, self._params, self._schedule)
+        return self.run_on_world(world, sweep_unlabelled=sweep_unlabelled)
+
+    def run_on_world(
+        self, world: SimulatedWorld, sweep_unlabelled: bool = True
+    ) -> PipelineResult:
+        """Run the measurement chain over an already built world."""
+        url_classifier = UrlClassifier(world.services.blacklist)
+        report = MyPageKeeper(url_classifier, world.post_log).scan()
+        bundle = DatasetBuilder(world, report).build(crawl=True)
+        extractor = self.make_extractor(world, bundle)
+
+        classifier = frappe(extractor)
+        records, labels = [], []
+        for app_id in sorted(bundle.d_sample):
+            records.append(bundle.records[app_id])
+            labels.append(bundle.label(app_id))
+        classifier.fit(records, labels)
+
+        result = PipelineResult(
+            world=world,
+            monitor_report=report,
+            bundle=bundle,
+            extractor=extractor,
+            classifier=classifier,
+        )
+        if sweep_unlabelled:
+            self._sweep_unlabelled(result)
+        return result
+
+    @staticmethod
+    def make_extractor(
+        world: SimulatedWorld, bundle: DatasetBundle
+    ) -> FeatureExtractor:
+        """Wire the feature extractor's aggregation context."""
+        malicious_names = FeatureExtractor.name_counter(
+            bundle.records, bundle.d_sample_malicious
+        )
+        # Names of apps whose summary crawl failed come from post
+        # metadata — how the paper knows the names of deleted apps.
+        id_to_name = world.post_log.app_names()
+        for name_source_id in bundle.d_sample_malicious:
+            record = bundle.records.get(name_source_id)
+            if record is not None and not record.name:
+                observed = id_to_name.get(name_source_id)
+                if observed:
+                    malicious_names[observed] += 1
+        return FeatureExtractor(
+            wot=world.services.wot,
+            post_log=world.post_log,
+            malicious_names=malicious_names,
+            known_malicious_ids=set(bundle.d_sample_malicious),
+            id_to_name=id_to_name,
+        )
+
+    def _sweep_unlabelled(self, result: PipelineResult) -> None:
+        """Apply FRAppE to every D-Total app outside D-Sample (Sec 5.3)."""
+        unlabelled = result.bundle.d_total - result.bundle.d_sample
+        crawler = AppCrawler(result.world)
+        result.unlabelled_records = crawler.crawl_many(unlabelled)
+        ordered = sorted(result.unlabelled_records)
+        records = [result.unlabelled_records[a] for a in ordered]
+        if records:
+            predictions = result.classifier.predict(records)
+            result.flagged_new = {
+                app_id for app_id, hit in zip(ordered, predictions) if hit
+            }
+        validator = FlagValidator(result.world, result.bundle)
+        result.validation = validator.validate(result.flagged_new)

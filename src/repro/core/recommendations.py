@@ -1,0 +1,177 @@
+"""The paper's recommendations to Facebook, as enforceable policies.
+
+Sec 7 proposes two platform changes:
+
+a. **Breaking the cycle of app propagation** — apps should not be
+   allowed to promote other apps.  :class:`PromotionBlocker` screens a
+   post stream and drops posts whose link resolves to another app's
+   installation page or to a known indirection website.
+
+b. **Stricter app authentication before posting** —
+   :class:`PromptFeedAuthenticator` wraps the vulnerable
+   ``prompt_feed`` endpoint and rejects posts whose caller cannot
+   present a valid OAuth token for the app named in ``api_key``.
+
+Both are counterfactual instruments: the ablation benchmarks rebuild
+the collusion graph and the piggybacking signature with a policy
+enabled and show the attack surface collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.platform.graph_api import GraphApi
+from repro.platform.oauth import TokenService
+from repro.platform.posts import Post
+from repro.urlinfra.redirector import RedirectorNetwork
+from repro.urlinfra.shortener import Shortener
+from repro.urlinfra.url import Url
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ecosystem.simulation import SimulatedWorld
+
+__all__ = [
+    "PromotionBlocker",
+    "PromptFeedAuthenticator",
+    "PolicyReport",
+]
+
+_INSTALL_PATH = "/apps/application.php"
+
+
+@dataclass
+class PolicyReport:
+    """What a policy pass over a post stream did."""
+
+    posts_seen: int = 0
+    posts_blocked: int = 0
+    #: post_id -> reason
+    blocked: dict[int, str] = field(default_factory=dict)
+
+    @property
+    def blocked_fraction(self) -> float:
+        if self.posts_seen == 0:
+            return 0.0
+        return self.posts_blocked / self.posts_seen
+
+    def block(self, post: Post, reason: str) -> None:
+        self.posts_blocked += 1
+        self.blocked[post.post_id] = reason
+
+
+class PromotionBlocker:
+    """Recommendation (a): apps must not promote other apps.
+
+    A post made by app A is blocked when its link — after expanding
+    shortened URLs through the shorteners' APIs — resolves to the
+    installation URL of a *different* app, or to a known indirection
+    website.  Self-promotion is allowed (an app advertising itself is
+    legitimate marketing).
+    """
+
+    def __init__(
+        self,
+        shorteners: dict[str, Shortener],
+        redirector: RedirectorNetwork | None = None,
+    ) -> None:
+        self._shorteners = shorteners
+        self._redirector = redirector
+
+    def _expand(self, url: str) -> str | None:
+        for shortener in self._shorteners.values():
+            if shortener.owns(url):
+                return shortener.expand(url)
+        return url
+
+    def verdict(self, post: Post) -> str | None:
+        """Reason for blocking *post*, or ``None`` to allow it."""
+        if post.link is None or post.app_id is None:
+            return None
+        long_url = self._expand(post.link)
+        if long_url is None:
+            return None  # dead short link: nothing to promote
+        if self._redirector is not None and self._redirector.is_indirection(
+            long_url
+        ):
+            return "link forwards to app installation pages"
+        try:
+            parsed = Url.parse(long_url)
+        except ValueError:
+            return None
+        if parsed.domain == "facebook.com" and parsed.path == _INSTALL_PATH:
+            target = parsed.params.get("id")
+            if target and target != post.app_id:
+                return f"app promotes another app ({target})"
+        return None
+
+    def screen(self, posts) -> PolicyReport:
+        """Apply the policy to an iterable of posts."""
+        report = PolicyReport()
+        for post in posts:
+            report.posts_seen += 1
+            reason = self.verdict(post)
+            if reason is not None:
+                report.block(post, reason)
+        return report
+
+
+class PromptFeedAuthenticator:
+    """Recommendation (b): authenticate the poster of prompt_feed.
+
+    Wraps :meth:`GraphApi.prompt_feed` and requires a bearer token that
+    (i) validates, and (ii) was issued to the app named in ``api_key``
+    with posting permission.  Hackers holding tokens for *their own*
+    apps can no longer attribute posts to FarmVille.
+    """
+
+    def __init__(self, graph_api: GraphApi, tokens: TokenService) -> None:
+        self._graph_api = graph_api
+        self._tokens = tokens
+        self.rejected = 0
+
+    def prompt_feed(
+        self,
+        api_key: str,
+        bearer_token: str,
+        user_id: int,
+        message: str,
+        link: str | None,
+        day: int,
+        **kwargs,
+    ) -> Post:
+        token = self._tokens.validate(bearer_token)
+        if token is None:
+            self.rejected += 1
+            raise PermissionError("invalid or revoked access token")
+        if token.app_id != api_key:
+            self.rejected += 1
+            raise PermissionError(
+                f"token belongs to app {token.app_id}, not {api_key}"
+            )
+        if not token.allows("publish_stream") and not token.allows(
+            "publish_actions"
+        ):
+            self.rejected += 1
+            raise PermissionError("token lacks posting permission")
+        return self._graph_api.prompt_feed(
+            api_key=api_key,
+            user_id=user_id,
+            message=message,
+            link=link,
+            day=day,
+            **kwargs,
+        )
+
+
+def simulate_policy_rollout(world: "SimulatedWorld") -> PolicyReport:
+    """Counterfactual: screen the whole observed corpus with policy (a).
+
+    Returns the report; callers can rebuild the collusion graph over
+    the surviving posts to quantify the AppNet collapse.
+    """
+    blocker = PromotionBlocker(
+        world.services.shorteners, world.services.redirector
+    )
+    return blocker.screen(world.post_log)

@@ -1,0 +1,144 @@
+"""The independent app watchdog (the paper's long-term vision).
+
+The conclusion frames FRAppE as "a step towards creating an independent
+watchdog for app assessment and ranking, so as to warn Facebook users
+before installing apps."  This module builds that service on top of a
+trained classifier:
+
+* a calibrated **risk score** in [0, 100] per app (sigmoid of the SVM
+  margin, rescaled so the decision boundary maps to 50),
+* an **assessment cache** with explicit re-crawl staleness,
+* a **ranking** of the riskiest apps, and
+* human-readable **advisories** explaining which features drove the
+  verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.features import FeatureExtractor
+from repro.core.frappe import FrappeClassifier
+from repro.crawler.crawler import AppCrawler, CrawlRecord
+
+__all__ = ["AppAssessment", "AppWatchdog"]
+
+#: Feature -> human explanation used in advisories.  The predicate
+#: receives the feature's raw value and says whether it is suspicious.
+_ADVISORY_RULES: tuple[tuple[str, str, object], ...] = (
+    ("has_description", "the app provides no description",
+     lambda v: v == 0.0),
+    ("has_company", "no company is listed", lambda v: v == 0.0),
+    ("has_category", "no category is configured", lambda v: v == 0.0),
+    ("has_profile_posts", "the app's profile page has no posts",
+     lambda v: v == 0.0),
+    ("permission_count", "it requests only a single permission "
+     "(just enough to post on your wall)", lambda v: v == 1.0),
+    ("client_id_mismatch", "its install URL hands out a different "
+     "app's client ID", lambda v: v == 1.0),
+    ("wot_score", "it redirects to a domain with no or poor web "
+     "reputation", lambda v: v < 5.0),
+    ("name_matches_malicious", "it shares its name with known "
+     "malicious apps", lambda v: v == 1.0),
+    ("external_link_ratio", "most of its posts push links outside "
+     "Facebook", lambda v: v >= 0.5),
+)
+
+
+@dataclass
+class AppAssessment:
+    """One cached watchdog verdict."""
+
+    app_id: str
+    name: str | None
+    risk_score: float  # 0 (safe) .. 100 (malicious), 50 = boundary
+    advisories: list[str] = field(default_factory=list)
+    assessed_day: int = 0
+
+    @property
+    def is_risky(self) -> bool:
+        return self.risk_score >= 50.0
+
+    def summary(self) -> str:
+        label = "HIGH RISK" if self.is_risky else "low risk"
+        head = f"{self.name or self.app_id}: {label} ({self.risk_score:.0f}/100)"
+        if not self.advisories:
+            return head
+        return head + "\n  - " + "\n  - ".join(self.advisories)
+
+
+class AppWatchdog:
+    """Assesses, caches, and ranks apps with a trained classifier."""
+
+    def __init__(
+        self,
+        classifier: FrappeClassifier,
+        extractor: FeatureExtractor,
+        crawler: AppCrawler,
+        max_staleness_days: int = 14,
+        margin_scale: float = 1.5,
+    ) -> None:
+        self._classifier = classifier
+        self._extractor = extractor
+        self._crawler = crawler
+        self.max_staleness_days = max_staleness_days
+        self._margin_scale = margin_scale
+        self._cache: dict[str, AppAssessment] = {}
+
+    # -- scoring -----------------------------------------------------------
+
+    def _risk_from_margin(self, margin: float) -> float:
+        """Map the SVM margin to [0, 100] with 50 at the boundary."""
+        return 100.0 / (1.0 + math.exp(-margin * self._margin_scale))
+
+    def _advisories(self, record: CrawlRecord) -> list[str]:
+        notes = []
+        for feature, text, predicate in _ADVISORY_RULES:
+            if feature not in self._classifier.features:
+                continue
+            value = self._extractor.feature_value(feature, record)
+            if predicate(value):
+                notes.append(text)
+        return notes
+
+    def assess_record(self, record: CrawlRecord, day: int = 0) -> AppAssessment:
+        """Assess an already crawled record (no caching)."""
+        margin = float(self._classifier.decision_function([record])[0])
+        # Deleted apps have no crawlable summary; fall back to the name
+        # observed in post metadata (how the paper knows dead apps' names).
+        name = record.name or self._extractor.name_of(record.app_id)
+        assessment = AppAssessment(
+            app_id=record.app_id,
+            name=name,
+            risk_score=self._risk_from_margin(margin),
+            assessed_day=day,
+        )
+        if assessment.is_risky:
+            assessment.advisories = self._advisories(record)
+        return assessment
+
+    # -- the service surface -------------------------------------------------
+
+    def assess(self, app_id: str, day: int = 0) -> AppAssessment:
+        """Crawl-and-assess with caching and staleness-driven re-crawls."""
+        cached = self._cache.get(app_id)
+        if cached is not None and day - cached.assessed_day <= self.max_staleness_days:
+            return cached
+        record = self._crawler.crawl_app(app_id)
+        assessment = self.assess_record(record, day=day)
+        self._cache[app_id] = assessment
+        return assessment
+
+    def cached_count(self) -> int:
+        return len(self._cache)
+
+    def ranking(self, top: int = 10) -> list[AppAssessment]:
+        """The riskiest cached apps, most dangerous first."""
+        ordered = sorted(
+            self._cache.values(), key=lambda a: a.risk_score, reverse=True
+        )
+        return ordered[:top]
+
+    def bulk_assess(self, app_ids, day: int = 0) -> list[AppAssessment]:
+        return [self.assess(app_id, day=day) for app_id in sorted(app_ids)]

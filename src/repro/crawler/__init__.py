@@ -1,0 +1,21 @@
+"""The measurement apparatus: crawler, vetting directory, dataset builder.
+
+This package reproduces Sec 2.3's data collection: weekly crawls of the
+Graph API and installation URLs over the March–May window, the Social
+Bakers vetting used to select benign apps, the popular-app whitelist
+that rescues piggybacked apps from mislabelling, and the construction of
+the D-Total / D-Sample / D-Summary / D-Inst / D-ProfileFeed / D-Complete
+datasets (Table 1).
+"""
+
+from repro.crawler.socialbakers import SocialBakers
+from repro.crawler.crawler import AppCrawler, CrawlRecord
+from repro.crawler.datasets import DatasetBundle, DatasetBuilder
+
+__all__ = [
+    "SocialBakers",
+    "AppCrawler",
+    "CrawlRecord",
+    "DatasetBundle",
+    "DatasetBuilder",
+]

@@ -1,0 +1,136 @@
+"""The Selenium-style app crawler (Sec 2.3).
+
+For each app ID the crawler attempts three collections over the
+March–May window:
+
+* **summaries** — weekly queries of ``graph.facebook.com/<id>``; a
+  removed app makes the query fail,
+* **profile feed** — one pass over ``graph.facebook.com/<id>/feed``,
+* **install URL** — following the installation-URL redirect chain to
+  observe the permission dialog (permission set, client ID, redirect
+  URI).  This fails for removed apps *and* for the many apps whose
+  redirect flows are built for humans, which is why D-Inst is the
+  smallest dataset.
+
+The crawler returns raw observations only; feature computation lives in
+:mod:`repro.core.features`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+from typing import Any
+
+from repro.platform.graph_api import GraphApiError
+from repro.platform.install import AppRemovedError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ecosystem.simulation import SimulatedWorld
+
+__all__ = ["CrawlRecord", "AppCrawler"]
+
+
+@dataclass
+class CrawlRecord:
+    """Everything the crawler observed about one app ID."""
+
+    app_id: str
+    # summary crawl
+    summary_ok: bool = False
+    name: str | None = None
+    description: str = ""
+    company: str = ""
+    category: str = ""
+    mau_observations: list[int] = field(default_factory=list)
+    # profile-feed crawl
+    feed_ok: bool = False
+    profile_posts: list[dict[str, Any]] = field(default_factory=list)
+    # install-URL crawl
+    inst_ok: bool = False
+    permissions: tuple[str, ...] = ()
+    observed_client_id: str | None = None
+    redirect_uri: str | None = None
+
+    @property
+    def client_id_mismatch(self) -> bool | None:
+        """Did the install URL hand out a different app's client ID?"""
+        if not self.inst_ok or self.observed_client_id is None:
+            return None
+        return self.observed_client_id != self.app_id
+
+    @property
+    def median_mau(self) -> int:
+        if not self.mau_observations:
+            return 0
+        ordered = sorted(self.mau_observations)
+        return ordered[len(ordered) // 2]
+
+    @property
+    def max_mau(self) -> int:
+        return max(self.mau_observations, default=0)
+
+    @property
+    def complete(self) -> bool:
+        """Did all three collections succeed (D-Complete membership)?"""
+        return self.summary_ok and self.feed_ok and self.inst_ok
+
+
+class AppCrawler:
+    """Crawls app IDs against the simulated platform."""
+
+    def __init__(self, world: "SimulatedWorld") -> None:
+        self._world = world
+
+    def crawl_app(self, app_id: str) -> CrawlRecord:
+        record = CrawlRecord(app_id=app_id)
+        self._crawl_summaries(record)
+        self._crawl_profile_feed(record)
+        self._crawl_install_url(record)
+        return record
+
+    def crawl_many(self, app_ids: list[str] | set[str]) -> dict[str, CrawlRecord]:
+        return {app_id: self.crawl_app(app_id) for app_id in sorted(app_ids)}
+
+    # -- individual collections ------------------------------------------
+
+    def _crawl_summaries(self, record: CrawlRecord) -> None:
+        schedule = self._world.schedule
+        graph = self._world.graph_api
+        first = schedule.summary_crawl_day
+        last = first + schedule.crawl_months * 30
+        for day in range(first, last, 7):
+            try:
+                summary = graph.summary(record.app_id, day=day)
+            except GraphApiError:
+                continue
+            record.summary_ok = True
+            record.name = summary["name"]
+            record.description = summary["description"]
+            record.company = summary["company"]
+            record.category = summary["category"]
+            record.mau_observations.append(int(summary["monthly_active_users"]))
+
+    def _crawl_profile_feed(self, record: CrawlRecord) -> None:
+        try:
+            feed = self._world.graph_api.profile_feed(
+                record.app_id, day=self._world.schedule.profilefeed_crawl_day
+            )
+        except GraphApiError:
+            return
+        record.feed_ok = True
+        record.profile_posts = feed
+
+    def _crawl_install_url(self, record: CrawlRecord) -> None:
+        day = self._world.schedule.inst_crawl_day
+        app = self._world.registry.maybe_get(record.app_id)
+        if app is None or not app.install_flow_crawlable:
+            return  # human-only redirect flow: the crawler gets stuck
+        try:
+            prompt = self._world.installer.visit_install_url(record.app_id, day=day)
+        except AppRemovedError:
+            return
+        record.inst_ok = True
+        record.permissions = prompt.permissions
+        record.observed_client_id = prompt.client_id
+        record.redirect_uri = prompt.redirect_uri

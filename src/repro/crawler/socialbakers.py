@@ -1,0 +1,57 @@
+"""A Social-Bakers-style app vetting directory (Sec 2.3).
+
+Social Bakers monitors the "social marketing success" of apps.  The
+paper uses it to select benign apps for D-Sample: an app counts as
+vetted when the directory lists it, and 90% of the vetted apps carry a
+community rating of at least 3/5.  Hackers do not submit their throwaway
+apps to marketing directories, so malicious apps are absent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.platform.apps import FacebookApp
+
+__all__ = ["SocialBakers"]
+
+
+class SocialBakers:
+    """Directory of vetted apps with community ratings."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._ratings: dict[str, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._ratings)
+
+    def vet_population(
+        self, apps: list[FacebookApp], coverage: float = 0.917
+    ) -> None:
+        """List a *coverage* fraction of *apps* with drawn ratings.
+
+        Ratings are drawn so that ~90% land at 3/5 or above, matching
+        the paper's description of the vetted set.
+        """
+        for app in apps:
+            if self._rng.random() < coverage:
+                self.list_app(app.app_id, self._draw_rating())
+
+    def _draw_rating(self) -> float:
+        # Beta(5, 2) scaled to [1, 5]: ~90% of mass >= 3.
+        return float(1.0 + 4.0 * self._rng.beta(5.0, 2.0))
+
+    def list_app(self, app_id: str, rating: float) -> None:
+        if not 1.0 <= rating <= 5.0:
+            raise ValueError(f"rating out of range: {rating}")
+        self._ratings[app_id] = rating
+
+    def is_vetted(self, app_id: str) -> bool:
+        return app_id in self._ratings
+
+    def rating(self, app_id: str) -> float | None:
+        return self._ratings.get(app_id)
+
+    def vetted_app_ids(self) -> set[str]:
+        return set(self._ratings)

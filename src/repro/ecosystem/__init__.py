@@ -1,0 +1,30 @@
+"""The generative model of the app ecosystem (the paper's data source).
+
+The paper's corpus is a proprietary 9-month crawl; this package replaces
+it with a generative simulation whose *distribution parameters are the
+paper's own measurements* (see :mod:`repro.ecosystem.params` for each
+derivation).  Benign developers and hacker organisations create apps on
+the simulated platform, post on walls, wire AppNets, run indirection
+websites, and piggyback popular apps — and the downstream pipeline
+(MyPageKeeper, crawler, FRAppE) re-measures everything from scratch.
+"""
+
+from repro.ecosystem.params import GenerationParams
+from repro.ecosystem.names import NameFactory
+from repro.ecosystem.messages import MessageFactory
+from repro.ecosystem.benign import BenignPopulation
+from repro.ecosystem.campaigns import CampaignPlan, HackerCampaign
+from repro.ecosystem.piggyback import PiggybackOperation
+from repro.ecosystem.simulation import SimulatedWorld, run_simulation
+
+__all__ = [
+    "GenerationParams",
+    "NameFactory",
+    "MessageFactory",
+    "BenignPopulation",
+    "CampaignPlan",
+    "HackerCampaign",
+    "PiggybackOperation",
+    "SimulatedWorld",
+    "run_simulation",
+]

@@ -1,0 +1,93 @@
+"""App piggybacking (Sec 6.2, Fig 16, Table 9).
+
+Hackers lure users into sharing scam posts through
+``connect/prompt_feed.php?api_key=<POPULAR_APP_ID>`` — Facebook does not
+authenticate that the post really comes from the named app, so the spam
+appears in the post metadata as 'FarmVille' or 'Facebook for iPhone'.
+The forged volume stays well below the popular app's own posting volume,
+which is why these apps show a malicious-to-all-posts ratio under 0.2
+(Fig 16) and why the paper needs a whitelist when deriving ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ecosystem.params import GenerationParams
+from repro.ecosystem.services import EcosystemServices
+from repro.platform.apps import FacebookApp
+from repro.platform.graph_api import GraphApi
+
+__all__ = ["PiggybackOperation"]
+
+
+@dataclass
+class _Target:
+    app: FacebookApp
+    forged_posts: int
+
+
+class PiggybackOperation:
+    """One hacker crew forging posts under popular apps' identities."""
+
+    def __init__(
+        self,
+        graph_api: GraphApi,
+        services: EcosystemServices,
+        params: GenerationParams,
+        rng: np.random.Generator,
+    ) -> None:
+        self._graph_api = graph_api
+        self._services = services
+        self._params = params
+        self._rng = rng
+        self._template = services.messages.campaign_template()
+        self._lure_urls = self._mint_lure_urls()
+        self.targets: list[_Target] = []
+
+    def _mint_lure_urls(self) -> list[str]:
+        rng = self._rng
+        domain = f"freecreditoffers{int(rng.integers(1, 100))}.com"
+        self._services.wot.seed_spammy(domain)
+        self._services.hosting.assign(domain, "bulletproof-hosting.net")
+        urls = []
+        for index in range(3):
+            landing = f"http://{domain}/claim/{index}"
+            shortener = self._services.shortener_for(rng, self._params.bitly_share)
+            short = shortener.shorten(landing)
+            urls.append(short)
+            self._services.blacklist.add_url(landing, day=int(rng.integers(30, 150)))
+            self._services.blacklist.add_url(short, day=int(rng.integers(30, 150)))
+        return urls
+
+    def run(
+        self,
+        popular_apps: list[FacebookApp],
+        own_post_counts: dict[str, int],
+        horizon_days: int,
+    ) -> list[FacebookApp]:
+        """Forge posts under each of *popular_apps*.
+
+        ``own_post_counts`` maps app ID to the app's legitimate post
+        volume; the forged volume is a small fraction of it so the
+        resulting malicious-post ratio lands under 0.2.
+        """
+        rng = self._rng
+        for app in popular_apps:
+            own = own_post_counts.get(app.app_id, 0)
+            ratio = float(rng.uniform(0.4, 2.5)) * self._params.piggyback_post_ratio
+            forged = max(1, int(own * ratio))
+            self.targets.append(_Target(app=app, forged_posts=forged))
+            for _ in range(forged):
+                self._graph_api.prompt_feed(
+                    api_key=app.app_id,
+                    user_id=int(rng.integers(0, self._services.n_users)),
+                    message=self._services.messages.spam_message(self._template),
+                    link=self._lure_urls[int(rng.integers(0, len(self._lure_urls)))],
+                    day=int(rng.integers(0, horizon_days)),
+                    truth_malicious=True,
+                    truth_piggybacked=True,
+                )
+        return [t.app for t in self.targets]

@@ -1,0 +1,64 @@
+"""The bundle of platform/web services the ecosystem populations use."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ecosystem.messages import MessageFactory
+from repro.ecosystem.names import NameFactory
+from repro.platform.apps import AppRegistry
+from repro.platform.posts import PostLog
+from repro.urlinfra.blacklist import UrlBlacklist
+from repro.urlinfra.hosting import HostingRegistry
+from repro.urlinfra.redirector import RedirectorNetwork
+from repro.urlinfra.shortener import Shortener
+from repro.urlinfra.wot import WotService
+
+__all__ = ["EcosystemServices"]
+
+
+@dataclass
+class EcosystemServices:
+    """Everything a population needs to create apps and emit posts."""
+
+    registry: AppRegistry
+    post_log: PostLog
+    wot: WotService
+    hosting: HostingRegistry
+    redirector: RedirectorNetwork
+    blacklist: UrlBlacklist
+    #: shorteners keyed by domain; 'bit.ly' carries ~92% of short URLs
+    shorteners: dict[str, Shortener]
+    names: NameFactory
+    messages: MessageFactory
+    n_users: int
+    #: shared pool of bulletproof hosting domains hackers rent; Zipf
+    #: weights concentrate most campaigns on a few domains (Table 3)
+    spam_domain_pool: list[str] = field(default_factory=list)
+    spam_domain_weights: np.ndarray | None = None
+
+    def sample_spam_domains(self, rng: np.random.Generator, k: int) -> list[str]:
+        """Sample *k* distinct hosting domains, head-heavy."""
+        if not self.spam_domain_pool:
+            raise RuntimeError("spam domain pool is empty")
+        k = min(k, len(self.spam_domain_pool))
+        indices = rng.choice(
+            len(self.spam_domain_pool),
+            size=k,
+            replace=False,
+            p=self.spam_domain_weights,
+        )
+        return [self.spam_domain_pool[i] for i in indices]
+
+    @property
+    def bitly(self) -> Shortener:
+        return self.shorteners["bit.ly"]
+
+    def shortener_for(self, rng: np.random.Generator, bitly_share: float) -> Shortener:
+        """Pick a shortener, bit.ly with probability *bitly_share*."""
+        if rng.random() < bitly_share or len(self.shorteners) == 1:
+            return self.bitly
+        others = [s for d, s in self.shorteners.items() if d != "bit.ly"]
+        return others[int(rng.integers(0, len(others)))]

@@ -1,0 +1,11 @@
+"""One module per paper table/figure, plus a runner.
+
+Every module exposes ``run(...) -> ExperimentReport`` taking the shared
+:class:`~repro.core.pipeline.PipelineResult` (and, for Sec 6, the
+discovered collusion graph).  ``python -m repro.experiments`` executes
+all of them and prints paper-vs-measured tables.
+"""
+
+from repro.experiments.common import BENCH_SCALE, get_collusion, get_result
+
+__all__ = ["BENCH_SCALE", "get_collusion", "get_result"]

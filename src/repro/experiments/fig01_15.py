@@ -1,0 +1,86 @@
+"""Figs 1 and 15 — the AppNet snapshot and an example neighborhood.
+
+Fig 1 is a 770-app component with average degree 195; Fig 15 zooms into
+the 'Death Predictor' app: 26 neighbors, clustering coefficient 0.87,
+22 neighbors sharing one name.  We reproduce the same structural
+queries against the discovered collusion graph.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.analysis.report import ExperimentReport
+from repro.collusion.appnets import CollusionGraph
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run", "example_neighborhood"]
+
+
+def example_neighborhood(
+    result: PipelineResult, collusion: CollusionGraph, min_neighbors: int = 10
+) -> tuple[str, int, float, int] | None:
+    """The most clique-like well-connected app.
+
+    Returns (app_id, n_neighbors, clustering coefficient, neighbors
+    sharing the modal name), or ``None`` when the graph is too sparse.
+    """
+    graph = collusion.graph
+    log = result.world.post_log
+    best: tuple[float, str] | None = None
+    for node in graph.nodes():
+        if graph.degree(node) < min_neighbors:
+            continue
+        coefficient = graph.local_clustering(node)
+        if best is None or coefficient > best[0]:
+            best = (coefficient, node)
+    if best is None:
+        return None
+    coefficient, node = best
+    neighbors = graph.neighbors(node)
+    names = Counter(
+        name for n in neighbors if (name := log.app_name(n)) is not None
+    )
+    modal = names.most_common(1)[0][1] if names else 0
+    return node, len(neighbors), coefficient, modal
+
+
+def run(result: PipelineResult, collusion: CollusionGraph) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig01_15",
+        "AppNet snapshot and example collusion neighborhood",
+        notes="component sizes and degrees scale with the population; "
+        "comparable: second component's share and its density, and the "
+        "clique-like example neighborhood",
+    )
+    components = collusion.graph.connected_components()
+    if len(components) >= 2:
+        second = components[1]
+        report.add_fraction(
+            "2nd component / colluding apps",
+            PAPER.fig1_component_size / PAPER.colluding_apps,
+            len(second) / max(len(collusion.graph), 1),
+        )
+        density_paper = PAPER.fig1_average_degree / PAPER.fig1_component_size
+        avg_degree = collusion.graph.average_degree(second)
+        report.add_fraction(
+            "2nd component avg degree / size",
+            density_paper,
+            avg_degree / max(len(second), 1),
+        )
+    example = example_neighborhood(result, collusion)
+    if example is not None:
+        _app_id, n_neighbors, coefficient, modal = example
+        report.add(
+            "example: neighbors",
+            "26 ('Death Predictor')",
+            n_neighbors,
+        )
+        report.add(
+            "example: clustering coefficient", "0.87", f"{coefficient:.2f}"
+        )
+        report.add_fraction(
+            "example: neighbors sharing one name", 22 / 26, modal / n_neighbors
+        )
+    return report

@@ -1,0 +1,53 @@
+"""Fig 4 — median and maximum MAU achieved by malicious apps.
+
+MAU scales with the simulated user base; the 1,000-user threshold is
+multiplied by the configuration's scale factor.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import fraction_at_least
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run", "mau_of_malicious"]
+
+
+def mau_of_malicious(result: PipelineResult) -> tuple[list[int], list[int]]:
+    """(medians, maxima) of MAU over the D-Summary malicious apps."""
+    _benign, malicious = result.bundle.d_summary
+    medians, maxima = [], []
+    for app_id in malicious:
+        record = result.bundle.records[app_id]
+        if record.mau_observations:
+            medians.append(record.median_mau)
+            maxima.append(record.max_mau)
+    return medians, maxima
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    scale = result.world.config.scale
+    threshold = 1000 * scale
+    report = ExperimentReport(
+        "fig04",
+        "Monthly active users of malicious apps",
+        notes=f"1,000-MAU threshold scaled by the user base (x{scale})",
+    )
+    medians, maxima = mau_of_malicious(result)
+    report.add_fraction(
+        "median MAU >= 1000 (scaled)",
+        PAPER.median_mau_over_1000_fraction,
+        fraction_at_least(medians, threshold),
+    )
+    report.add_fraction(
+        "max MAU >= 1000 (scaled)",
+        PAPER.max_mau_over_1000_fraction,
+        fraction_at_least(maxima, threshold),
+    )
+    report.add(
+        "top app max MAU (scaled paper)",
+        f"{int(PAPER.top_app_max_mau * scale):,}",
+        f"{max(maxima, default=0):,}",
+    )
+    return report

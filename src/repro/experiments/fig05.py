@@ -1,0 +1,49 @@
+"""Fig 5 — summary-field completeness of benign vs malicious apps."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run", "field_fractions"]
+
+
+def field_fractions(result: PipelineResult) -> dict[str, dict[str, float]]:
+    """class -> {category, company, description} non-empty fractions."""
+    out: dict[str, dict[str, float]] = {}
+    benign, malicious = result.bundle.d_summary
+    for label, ids in (("benign", benign), ("malicious", malicious)):
+        records = [result.bundle.records[a] for a in ids]
+        n = max(len(records), 1)
+        out[label] = {
+            "category": sum(1 for r in records if r.category) / n,
+            "company": sum(1 for r in records if r.company) / n,
+            "description": sum(1 for r in records if r.description) / n,
+        }
+    return out
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig05", "Apps providing category / company / description"
+    )
+    fractions = field_fractions(result)
+    paper = {
+        "benign": {
+            "category": PAPER.benign_has_category,
+            "company": PAPER.benign_has_company,
+            "description": PAPER.benign_has_description,
+        },
+        "malicious": {
+            "category": PAPER.malicious_has_category,
+            "company": PAPER.malicious_has_company,
+            "description": PAPER.malicious_has_description,
+        },
+    }
+    for label in ("benign", "malicious"):
+        for fld in ("category", "company", "description"):
+            report.add_fraction(
+                f"{label} with {fld}", paper[label][fld], fractions[label][fld]
+            )
+    return report

@@ -1,0 +1,52 @@
+"""Fig 8 — WOT trust score of the redirect-URI domain (D-Inst)."""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import fraction_at_least, fraction_below
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+from repro.urlinfra.wot import WOT_UNKNOWN
+
+__all__ = ["run", "wot_scores"]
+
+
+def wot_scores(result: PipelineResult) -> dict[str, list[float]]:
+    """class -> WOT scores of redirect domains (-1 = unknown)."""
+    wot = result.world.services.wot
+    out: dict[str, list[float]] = {}
+    benign, malicious = result.bundle.d_inst
+    for label, ids in (("benign", benign), ("malicious", malicious)):
+        scores = []
+        for app_id in ids:
+            record = result.bundle.records[app_id]
+            if record.redirect_uri:
+                scores.append(wot.score_url(record.redirect_uri))
+        out[label] = scores
+    return out
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig08", "WOT trust score of redirect domains"
+    )
+    scores = wot_scores(result)
+    malicious = scores["malicious"]
+    benign = scores["benign"]
+    n_mal = max(len(malicious), 1)
+    report.add_fraction(
+        "malicious with no WOT score",
+        PAPER.malicious_wot_unknown_fraction,
+        sum(1 for s in malicious if s == WOT_UNKNOWN) / n_mal,
+    )
+    report.add_fraction(
+        "malicious scoring < 5",
+        PAPER.malicious_wot_below_5_fraction,
+        fraction_below(malicious, 5.0),
+    )
+    report.add_fraction(
+        "benign scoring >= 60",
+        0.85,  # read off Fig 8's benign curve
+        fraction_at_least(benign, 60.0),
+    )
+    return report

@@ -1,0 +1,45 @@
+"""Fig 9 — number of posts in the app profile page (D-ProfileFeed)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run", "profile_post_counts"]
+
+
+def profile_post_counts(result: PipelineResult) -> dict[str, list[int]]:
+    out: dict[str, list[int]] = {}
+    benign, malicious = result.bundle.d_profilefeed
+    for label, ids in (("benign", benign), ("malicious", malicious)):
+        out[label] = [
+            len(result.bundle.records[a].profile_posts) for a in ids
+        ]
+    return out
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport("fig09", "Posts in the app profile page")
+    counts = profile_post_counts(result)
+    n_mal = max(len(counts["malicious"]), 1)
+    n_ben = max(len(counts["benign"]), 1)
+    report.add_fraction(
+        "malicious with empty profile",
+        PAPER.malicious_empty_profile_fraction,
+        sum(1 for c in counts["malicious"] if c == 0) / n_mal,
+    )
+    report.add_fraction(
+        "benign with empty profile",
+        0.10,  # read off Fig 9's benign curve
+        sum(1 for c in counts["benign"] if c == 0) / n_ben,
+    )
+    nonzero = [c for c in counts["benign"] if c > 0]
+    report.add(
+        "median benign profile posts",
+        "~10 (Fig 9)",
+        int(np.median(nonzero)) if nonzero else 0,
+    )
+    return report

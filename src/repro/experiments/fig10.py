@@ -1,0 +1,63 @@
+"""Fig 10 — clustering of apps by name similarity, per threshold.
+
+The y-axis is the number of clusters as a fraction of the number of
+apps: a value near 1 means unique names (benign apps), a small value
+means heavy name reuse (malicious apps).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.core.pipeline import PipelineResult
+from repro.text.clustering import cluster_names
+
+__all__ = ["run", "reduction_ratios", "sample_names"]
+
+THRESHOLDS = (1.0, 0.9, 0.8, 0.7)
+
+#: reduction ratios read off Fig 10
+_PAPER = {
+    "malicious": {1.0: 0.19, 0.9: 0.16, 0.8: 0.14, 0.7: 0.13},
+    "benign": {1.0: 0.95, 0.9: 0.92, 0.8: 0.88, 0.7: 0.80},
+}
+
+
+def sample_names(result: PipelineResult) -> dict[str, list[str]]:
+    """class -> app names over D-Sample (from post metadata)."""
+    log = result.world.post_log
+    out: dict[str, list[str]] = {}
+    for label, ids in (
+        ("benign", result.bundle.d_sample_benign),
+        ("malicious", result.bundle.d_sample_malicious),
+    ):
+        out[label] = [
+            name for a in ids if (name := log.app_name(a)) is not None
+        ]
+    return out
+
+
+def reduction_ratios(
+    result: PipelineResult, thresholds: tuple[float, ...] = THRESHOLDS
+) -> dict[str, dict[float, float]]:
+    names = sample_names(result)
+    out: dict[str, dict[float, float]] = {}
+    for label, name_list in names.items():
+        out[label] = {
+            t: cluster_names(name_list, t).reduction_ratio for t in thresholds
+        }
+    return out
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig10", "Name-similarity clustering (clusters / apps)"
+    )
+    ratios = reduction_ratios(result)
+    for label in ("malicious", "benign"):
+        for threshold in THRESHOLDS:
+            report.add_fraction(
+                f"{label} @ threshold {threshold}",
+                _PAPER[label][threshold],
+                ratios[label][threshold],
+            )
+    return report

@@ -1,0 +1,50 @@
+"""Fig 12 — distribution of the external-link-to-post ratio."""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import fraction_at_least
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run", "external_ratios"]
+
+
+def external_ratios(result: PipelineResult) -> dict[str, list[float]]:
+    """class -> per-app external-link-to-post ratios over D-Sample."""
+    extractor = result.extractor
+    out: dict[str, list[float]] = {}
+    for label, ids in (
+        ("benign", result.bundle.d_sample_benign),
+        ("malicious", result.bundle.d_sample_malicious),
+    ):
+        out[label] = [
+            extractor.feature_value(
+                "external_link_ratio", result.bundle.records[a]
+            )
+            for a in ids
+        ]
+    return out
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport("fig12", "External-link-to-post ratio")
+    ratios = external_ratios(result)
+    benign = ratios["benign"]
+    malicious = ratios["malicious"]
+    report.add_fraction(
+        "benign posting no external links",
+        PAPER.benign_zero_external_fraction,
+        sum(1 for r in benign if r == 0.0) / max(len(benign), 1),
+    )
+    report.add_fraction(
+        "malicious with ratio >= 0.8",
+        PAPER.malicious_high_external_fraction,
+        fraction_at_least(malicious, 0.8),
+    )
+    report.add_fraction(
+        "malicious with ratio >= 0.2",
+        0.75,  # read off Fig 12's malicious curve
+        fraction_at_least(malicious, 0.2),
+    )
+    return report

@@ -1,0 +1,35 @@
+"""Fig 13 — promoter / promotee / dual-role split of colluding apps."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.collusion.appnets import CollusionGraph
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run"]
+
+
+def run(result: PipelineResult, collusion: CollusionGraph) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig13", "Collusion roles among AppNet members"
+    )
+    promoters = collusion.promoters()
+    promotees = collusion.promotees()
+    dual = collusion.dual_role()
+    total = max(len(promoters) + len(promotees) + len(dual), 1)
+    report.add(
+        "colluding apps",
+        PAPER.colluding_apps,
+        total,
+    )
+    report.add_fraction(
+        "promoters", PAPER.promoter_fraction, len(promoters) / total
+    )
+    report.add_fraction(
+        "promotees", PAPER.promotee_fraction, len(promotees) / total
+    )
+    report.add_fraction(
+        "dual role", PAPER.dual_role_fraction, len(dual) / total
+    )
+    return report

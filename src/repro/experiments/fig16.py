@@ -1,0 +1,42 @@
+"""Fig 16 — per-app ratio of malicious posts to all posts.
+
+Most apps with flagged posts are outright malicious (ratio near 1);
+the ~5% tail with ratio < 0.2 are the piggybacked popular apps.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.distributions import fraction_above, fraction_below
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run", "malicious_post_ratios"]
+
+
+def malicious_post_ratios(result: PipelineResult) -> list[float]:
+    """Ratios for every app with at least one flagged post."""
+    report = result.monitor_report
+    return [
+        flagged / total
+        for app_id, (flagged, total) in report.app_post_counts.items()
+        if app_id is not None and flagged > 0
+    ]
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport(
+        "fig16", "Malicious-posts-to-all-posts ratio per app"
+    )
+    ratios = malicious_post_ratios(result)
+    report.add_fraction(
+        "apps with ratio < 0.2 (piggybacked)",
+        PAPER.piggyback_low_ratio_fraction,
+        fraction_below(ratios, 0.2),
+    )
+    report.add_fraction(
+        "apps with ratio > 0.8 (outright malicious)",
+        0.80,  # read off Fig 16
+        fraction_above(ratios, 0.8),
+    )
+    return report

@@ -1,0 +1,67 @@
+"""Run every table/figure reproduction and print paper-vs-measured.
+
+``python -m repro.experiments [scale]`` executes the full set.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.experiments import common
+from repro.experiments import (
+    fig01_15,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig16,
+    sec3,
+    sec52,
+    sec61,
+    sec7,
+    table1,
+    table2,
+    table3,
+    table5,
+    table6,
+    table8,
+    table9,
+)
+
+__all__ = ["run_all", "main"]
+
+#: experiments taking only the pipeline result
+_SIMPLE = (
+    table1, table2, table3, table5, table6, table8, table9,
+    fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11,
+    fig12, fig16, sec3, sec52, sec7,
+)
+#: experiments that also need the collusion graph
+_COLLUSION = (fig01_15, fig13, fig14, sec61)
+
+
+def run_all(scale: float = common.BENCH_SCALE, seed: int = 2012) -> list[ExperimentReport]:
+    """Execute every experiment against one cached world."""
+    result, collusion = common.get_collusion(scale, seed)
+    reports = [module.run(result) for module in _SIMPLE]
+    reports.extend(module.run(result, collusion) for module in _COLLUSION)
+    reports.sort(key=lambda r: r.experiment_id)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    import sys
+
+    args = argv if argv is not None else sys.argv[1:]
+    scale = float(args[0]) if args else common.BENCH_SCALE
+    for report in run_all(scale):
+        print(report.render())
+        print()
+    return 0

@@ -1,0 +1,46 @@
+"""Sec 3 — prevalence of malicious apps."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run"]
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport("sec3", "Prevalence of malicious apps")
+    bundle = result.bundle
+    n_total = max(len(bundle.d_total), 1)
+    # The paper's 13% counts D-Sample malicious plus the validated
+    # FRAppE flags (6,273 + 8,051 over 111K).
+    validated_new = (
+        len(result.validation.validated) if result.validation is not None else 0
+    )
+    measured_fraction = (
+        len(bundle.d_sample_malicious) + validated_new
+    ) / n_total
+    report.add_fraction(
+        "malicious fraction of observed apps",
+        PAPER.malicious_app_fraction,
+        measured_fraction,
+    )
+    report.add_fraction(
+        "flagged posts made by apps",
+        1.0 - PAPER.malicious_posts_without_app_fraction,
+        result.monitor_report.flagged_by_apps_fraction,
+    )
+    # Share of flagged app-posts that came from malicious apps vs
+    # piggybacked popular apps (the paper's 53% is of all flagged).
+    mpk = result.monitor_report
+    flagged_by_sample_malicious = sum(
+        mpk.flagged_count(a) for a in bundle.d_sample_malicious
+    )
+    report.add_fraction(
+        "flagged posts from (non-whitelisted) malicious apps",
+        0.53 / (1.0 - PAPER.malicious_posts_without_app_fraction),
+        flagged_by_sample_malicious / max(mpk.flagged_posts, 1)
+        / max(mpk.flagged_by_apps_fraction, 1e-9),
+    )
+    return report

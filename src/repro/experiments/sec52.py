@@ -1,0 +1,50 @@
+"""Sec 5.2 — full FRAppE cross-validation (and the Lite comparison)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import ExperimentReport
+from repro.config import PAPER
+from repro.core.frappe import frappe, frappe_lite
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run"]
+
+
+def run(result: PipelineResult, ratio: float = 7.0, seed: int = 52) -> ExperimentReport:
+    report = ExperimentReport(
+        "sec52", "FRAppE (on-demand + aggregation features), 7:1 CV"
+    )
+    records, labels = result.complete_records()
+    n_malicious = sum(labels)
+    n_benign = len(labels) - n_malicious
+    capped = min(ratio, n_benign / max(n_malicious, 1))
+
+    lite = frappe_lite(result.extractor).cross_validate(
+        records, labels, benign_per_malicious=capped,
+        rng=np.random.default_rng(seed),
+    )
+    full = frappe(result.extractor).cross_validate(
+        records, labels, benign_per_malicious=capped,
+        rng=np.random.default_rng(seed),
+    )
+    lite_row = next(r for r in PAPER.frappe_lite_cv if r[0] == "7:1")
+    report.add(
+        "FRAppE Lite",
+        f"acc={lite_row[1]}% FP={lite_row[2]}% FN={lite_row[3]}%",
+        f"acc={lite.as_percentages()[0]:.1f}% "
+        f"FP={lite.as_percentages()[1]:.1f}% FN={lite.as_percentages()[2]:.1f}%",
+    )
+    report.add(
+        "FRAppE (full)",
+        f"acc={PAPER.frappe_accuracy}% FP={PAPER.frappe_fp}% FN={PAPER.frappe_fn}%",
+        f"acc={full.as_percentages()[0]:.1f}% "
+        f"FP={full.as_percentages()[1]:.1f}% FN={full.as_percentages()[2]:.1f}%",
+    )
+    report.add(
+        "aggregation features help (acc delta)",
+        f"+{PAPER.frappe_accuracy - lite_row[1]:.1f}pp",
+        f"{full.accuracy * 100 - lite.accuracy * 100:+.1f}pp",
+    )
+    return report

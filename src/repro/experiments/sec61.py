@@ -1,0 +1,83 @@
+"""Sec 6.1 — AppNet forensics: components, mechanisms, infrastructure."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.collusion.appnets import CollusionAnalyzer, CollusionGraph
+from repro.config import PAPER
+from repro.core.pipeline import PipelineResult
+from repro.urlinfra.hosting import AWS_PROVIDER
+
+__all__ = ["run"]
+
+
+def run(result: PipelineResult, collusion: CollusionGraph) -> ExperimentReport:
+    analyzer = CollusionAnalyzer(result.world)
+    stats = analyzer.stats(collusion)
+    report = ExperimentReport(
+        "sec61",
+        "AppNet statistics",
+        notes="component counts are structural (scaled by sqrt of the "
+        "configuration scale); degree thresholds shrink with population",
+    )
+    report.add("connected components", PAPER.connected_components, stats.n_components)
+    paper_shares = tuple(
+        f"{s / PAPER.colluding_apps:.0%}" for s in PAPER.top_component_sizes
+    )
+    measured_shares = tuple(
+        f"{s / max(stats.n_colluding, 1):.0%}" for s in stats.top_component_sizes
+    )
+    report.add("top-5 component shares", paper_shares, measured_shares)
+    report.add_fraction(
+        "apps colluding with > 10 others",
+        PAPER.collusion_degree_over_10_fraction,
+        stats.degree_over_10_fraction,
+    )
+    report.add(
+        "max collusions / colluding apps",
+        f"{PAPER.max_collusions / PAPER.colluding_apps:.3f}",
+        f"{stats.max_degree / max(stats.n_colluding, 1):.3f}",
+    )
+    # Direct promotion (Sec 6.1a)
+    report.add(
+        "direct promoters -> promotees",
+        f"{PAPER.direct_promoters} -> {PAPER.direct_promotees}",
+        f"{len(collusion.direct_promoters())} -> {len(collusion.direct_promotees())}",
+    )
+    # Indirection (Sec 6.1b)
+    ind = collusion.indirection
+    report.add(
+        "indirection sites -> promoted apps",
+        f"{PAPER.indirection_websites} -> {PAPER.indirection_promotees}",
+        f"{ind.n_sites} -> {len(ind.promotees())}",
+    )
+    promoter_names, promotee_names = analyzer.name_reuse(collusion)
+    report.add(
+        "indirect promoters / unique names",
+        f"{PAPER.indirection_promoters} / {PAPER.indirection_promoter_names}",
+        f"{len(ind.promoters())} / {promoter_names}",
+    )
+    report.add(
+        "indirect promotees / unique names",
+        f"{PAPER.indirection_promotees} / {PAPER.indirection_promotee_names}",
+        f"{len(ind.promotees())} / {promotee_names}",
+    )
+    sites_over = ind.sites_over(max(3, int(100 * result.world.config.scale)))
+    report.add_fraction(
+        "sites promoting > 100 apps (scaled)",
+        PAPER.websites_over_100_apps_fraction,
+        sites_over / max(ind.n_sites, 1),
+    )
+    report.add_fraction(
+        "site links shortened via bit.ly",
+        PAPER.indirection_bitly / PAPER.indirection_websites,
+        ind.bitly_links / max(ind.total_short_links, 1),
+    )
+    providers = analyzer.hosting_providers(collusion)
+    aws = providers.get(AWS_PROVIDER, 0)
+    report.add_fraction(
+        "indirection sites hosted on AWS",
+        PAPER.indirection_on_aws_fraction,
+        aws / max(ind.n_sites, 1),
+    )
+    return report

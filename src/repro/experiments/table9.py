@@ -1,0 +1,65 @@
+"""Table 9 — popular apps abused by app piggybacking (Sec 6.2)."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ExperimentReport
+from repro.core.pipeline import PipelineResult
+
+__all__ = ["run", "piggybacked_apps"]
+
+_PAPER_TOP = (
+    ("FarmVille", 9_621_909),
+    ("Links", 7_650_858),
+    ("Facebook for iPhone", 5_551_422),
+    ("Mobile", 4_208_703),
+    ("Facebook for Android", 3_912_955),
+)
+
+
+def piggybacked_apps(
+    result: PipelineResult, max_ratio: float = 0.2
+) -> list[tuple[str, str, int, float]]:
+    """Apps with flagged posts but a low malicious ratio (Fig 16's tail).
+
+    Returns (app_id, name, total posts, malicious ratio), sorted by
+    post volume — the paper's Table 9 selection.
+    """
+    report = result.monitor_report
+    log = result.world.post_log
+    out = []
+    for app_id, (flagged, total) in report.app_post_counts.items():
+        if app_id is None or flagged == 0:
+            continue
+        ratio = flagged / total
+        if ratio < max_ratio:
+            out.append(
+                (app_id, log.app_name(app_id) or "<unknown>", total, ratio)
+            )
+    out.sort(key=lambda row: row[2], reverse=True)
+    return out
+
+
+def run(result: PipelineResult) -> ExperimentReport:
+    report = ExperimentReport(
+        "table9",
+        "Popular apps abused by piggybacking",
+        notes="apps with flagged posts but ratio < 0.2 — hackers forge "
+        "popular apps' IDs via prompt_feed",
+    )
+    top = piggybacked_apps(result)[:5]
+    for rank, (paper_row, measured) in enumerate(zip(_PAPER_TOP, top), start=1):
+        paper_name, paper_posts = paper_row
+        _app_id, name, total, ratio = measured
+        report.add(
+            f"#{rank}",
+            f"{paper_name} ({paper_posts:,} posts)",
+            f"{name} ({total:,} posts, ratio {ratio:.2f})",
+        )
+    truth_piggy = result.world.piggybacked_ids()
+    found = {app_id for app_id, _n, _t, _r in piggybacked_apps(result)}
+    report.add(
+        "hidden piggyback targets recovered",
+        "n/a",
+        f"{len(found & truth_piggy)}/{len(truth_piggy)}",
+    )
+    return report

@@ -1,0 +1,108 @@
+"""Dataset export/import: share a study as plain JSON.
+
+Serialises the labelled crawl records (features come from the crawl,
+labels from MyPageKeeper's heuristic) so downstream users can train
+their own models without running the simulation, and loads such files
+back into :class:`~repro.crawler.crawler.CrawlRecord` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.crawler.crawler import CrawlRecord
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pipeline import PipelineResult
+
+__all__ = ["export_dataset", "load_dataset", "dataset_to_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: CrawlRecord) -> dict:
+    return {
+        "app_id": record.app_id,
+        "summary_ok": record.summary_ok,
+        "name": record.name,
+        "description": record.description,
+        "company": record.company,
+        "category": record.category,
+        "mau_observations": list(record.mau_observations),
+        "feed_ok": record.feed_ok,
+        "profile_post_count": len(record.profile_posts),
+        "inst_ok": record.inst_ok,
+        "permissions": list(record.permissions),
+        "observed_client_id": record.observed_client_id,
+        "redirect_uri": record.redirect_uri,
+    }
+
+
+def _record_from_dict(data: dict) -> CrawlRecord:
+    profile_posts = [
+        {"message": "", "link": None, "created_time": 0, "from": 0}
+    ] * int(data.get("profile_post_count", 0))
+    return CrawlRecord(
+        app_id=data["app_id"],
+        summary_ok=bool(data["summary_ok"]),
+        name=data.get("name"),
+        description=data.get("description", ""),
+        company=data.get("company", ""),
+        category=data.get("category", ""),
+        mau_observations=[int(v) for v in data.get("mau_observations", [])],
+        feed_ok=bool(data["feed_ok"]),
+        profile_posts=profile_posts,
+        inst_ok=bool(data["inst_ok"]),
+        permissions=tuple(data.get("permissions", ())),
+        observed_client_id=data.get("observed_client_id"),
+        redirect_uri=data.get("redirect_uri"),
+    )
+
+
+def dataset_to_dict(result: "PipelineResult") -> dict:
+    """The D-Sample dataset as a JSON-serialisable dictionary."""
+    bundle = result.bundle
+    entries = []
+    for app_id in sorted(bundle.d_sample):
+        record = bundle.records[app_id]
+        entry = _record_to_dict(record)
+        entry["label"] = bundle.label(app_id)
+        entry["external_link_ratio"] = result.extractor.feature_value(
+            "external_link_ratio", record
+        )
+        entry["name_matches_malicious"] = result.extractor.feature_value(
+            "name_matches_malicious", record
+        )
+        entries.append(entry)
+    return {
+        "format_version": _FORMAT_VERSION,
+        "paper": "FRAppE (CoNEXT 2012) reproduction",
+        "scale": result.world.config.scale,
+        "seed": result.world.config.master_seed,
+        "n_benign": len(bundle.d_sample_benign),
+        "n_malicious": len(bundle.d_sample_malicious),
+        "records": entries,
+    }
+
+
+def export_dataset(result: "PipelineResult", path: str | Path) -> Path:
+    """Write the labelled D-Sample dataset to *path* as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(dataset_to_dict(result), indent=1))
+    return path
+
+
+def load_dataset(path: str | Path) -> tuple[list[CrawlRecord], list[int], dict]:
+    """Load an exported dataset: (records, labels, metadata)."""
+    data = json.loads(Path(path).read_text())
+    version = data.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version: {version}")
+    records, labels = [], []
+    for entry in data["records"]:
+        records.append(_record_from_dict(entry))
+        labels.append(int(entry["label"]))
+    metadata = {k: v for k, v in data.items() if k != "records"}
+    return records, labels, metadata

@@ -1,0 +1,37 @@
+"""Machine-learning substrate: a from-scratch SVM and evaluation tools.
+
+The paper trains libsvm SVMs (RBF kernel, default parameters, C = 1).
+No ML library is available offline, so this package implements:
+
+* :mod:`repro.ml.kernels` — linear / RBF / polynomial kernels,
+* :mod:`repro.ml.svm` — an SVC trained by Platt's SMO algorithm,
+* :mod:`repro.ml.scaling` — feature standardisation,
+* :mod:`repro.ml.metrics` — the paper's accuracy / false-positive /
+  false-negative metrics (positive class = malicious),
+* :mod:`repro.ml.crossval` — stratified k-fold cross-validation and the
+  benign:malicious ratio resampling used in Table 5.
+"""
+
+from repro.ml.kernels import KERNELS, linear_kernel, polynomial_kernel, rbf_kernel
+from repro.ml.scaling import StandardScaler
+from repro.ml.metrics import ClassificationReport, confusion_report
+from repro.ml.svm import SVC
+from repro.ml.crossval import (
+    cross_validate,
+    stratified_kfold_indices,
+    subsample_to_ratio,
+)
+
+__all__ = [
+    "KERNELS",
+    "linear_kernel",
+    "polynomial_kernel",
+    "rbf_kernel",
+    "StandardScaler",
+    "ClassificationReport",
+    "confusion_report",
+    "SVC",
+    "cross_validate",
+    "stratified_kfold_indices",
+    "subsample_to_ratio",
+]

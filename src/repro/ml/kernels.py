@@ -1,0 +1,46 @@
+"""Kernel functions for the SVM.
+
+All kernels take two sample matrices ``X (n, d)`` and ``Y (m, d)`` and
+return the ``(n, m)`` Gram matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["linear_kernel", "rbf_kernel", "polynomial_kernel", "KERNELS"]
+
+
+def linear_kernel(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """K(a, b) = <a, b>."""
+    return np.asarray(x, dtype=float) @ np.asarray(y, dtype=float).T
+
+
+def rbf_kernel(x: np.ndarray, y: np.ndarray, gamma: float = 1.0) -> np.ndarray:
+    """K(a, b) = exp(-gamma * ||a - b||^2)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    x_sq = np.sum(x * x, axis=1)[:, None]
+    y_sq = np.sum(y * y, axis=1)[None, :]
+    sq_dist = np.maximum(x_sq + y_sq - 2.0 * (x @ y.T), 0.0)
+    return np.exp(-gamma * sq_dist)
+
+
+def polynomial_kernel(
+    x: np.ndarray,
+    y: np.ndarray,
+    gamma: float = 1.0,
+    coef0: float = 0.0,
+    degree: int = 3,
+) -> np.ndarray:
+    """K(a, b) = (gamma * <a, b> + coef0) ** degree (libsvm's 'poly')."""
+    return (gamma * linear_kernel(x, y) + coef0) ** degree
+
+
+KERNELS: dict[str, Callable[..., np.ndarray]] = {
+    "linear": linear_kernel,
+    "rbf": rbf_kernel,
+    "poly": polynomial_kernel,
+}

@@ -1,0 +1,100 @@
+"""Classification metrics, with the paper's conventions (Sec 5.1).
+
+The positive class is *malicious*.  The paper defines:
+
+* accuracy — correctly identified apps over all apps,
+* false-positive rate — benign apps incorrectly flagged malicious, as a
+  fraction of all benign apps,
+* false-negative rate — malicious apps missed, as a fraction of all
+  malicious apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ClassificationReport", "confusion_report"]
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Confusion counts plus the paper's three derived rates."""
+
+    true_positives: int
+    false_positives: int
+    true_negatives: int
+    false_negatives: int
+
+    @property
+    def n_samples(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.true_negatives
+            + self.false_negatives
+        )
+
+    @property
+    def n_malicious(self) -> int:
+        return self.true_positives + self.false_negatives
+
+    @property
+    def n_benign(self) -> int:
+        return self.true_negatives + self.false_positives
+
+    @property
+    def accuracy(self) -> float:
+        if self.n_samples == 0:
+            return 0.0
+        return (self.true_positives + self.true_negatives) / self.n_samples
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of benign apps flagged malicious."""
+        if self.n_benign == 0:
+            return 0.0
+        return self.false_positives / self.n_benign
+
+    @property
+    def false_negative_rate(self) -> float:
+        """Fraction of malicious apps missed."""
+        if self.n_malicious == 0:
+            return 0.0
+        return self.false_negatives / self.n_malicious
+
+    def __add__(self, other: "ClassificationReport") -> "ClassificationReport":
+        """Pool confusion counts (e.g. across cross-validation folds)."""
+        return ClassificationReport(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.true_negatives + other.true_negatives,
+            self.false_negatives + other.false_negatives,
+        )
+
+    def as_percentages(self) -> tuple[float, float, float]:
+        """(accuracy, FP rate, FN rate) in percent, as the tables print."""
+        return (
+            100.0 * self.accuracy,
+            100.0 * self.false_positive_rate,
+            100.0 * self.false_negative_rate,
+        )
+
+    def __str__(self) -> str:
+        acc, fp, fn = self.as_percentages()
+        return f"accuracy={acc:.1f}% FP={fp:.1f}% FN={fn:.1f}%"
+
+
+def confusion_report(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Build a report from 0/1 label arrays (1 = malicious)."""
+    y_true = np.asarray(y_true).astype(bool)
+    y_pred = np.asarray(y_pred).astype(bool)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("label arrays must have the same shape")
+    return ClassificationReport(
+        true_positives=int(np.sum(y_true & y_pred)),
+        false_positives=int(np.sum(~y_true & y_pred)),
+        true_negatives=int(np.sum(~y_true & ~y_pred)),
+        false_negatives=int(np.sum(y_true & ~y_pred)),
+    )

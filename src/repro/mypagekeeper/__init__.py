@@ -1,0 +1,27 @@
+"""MyPageKeeper: the security app supplying FRAppE's ground truth.
+
+MyPageKeeper (Sec 2.2) monitors the walls and news feeds of its
+subscribed users and classifies *URLs* as malicious by combining URL
+blacklists with an SVM over post-level features (spam keywords, text
+similarity across posts carrying the same URL, like/comment counts).
+Every post containing a flagged URL is marked malicious.
+
+It is deliberately app-agnostic: it labels posts, not apps.  The paper
+derives app-level ground truth with the heuristic "an app with at least
+one flagged post is malicious", which :class:`AppLabeler` implements.
+"""
+
+from repro.mypagekeeper.keywords import SPAM_KEYWORDS, spam_keyword_count
+from repro.mypagekeeper.classifier import PostFeatures, UrlClassifier, url_features
+from repro.mypagekeeper.monitor import AppLabeler, MyPageKeeper, MonitorReport
+
+__all__ = [
+    "SPAM_KEYWORDS",
+    "spam_keyword_count",
+    "PostFeatures",
+    "UrlClassifier",
+    "url_features",
+    "AppLabeler",
+    "MyPageKeeper",
+    "MonitorReport",
+]

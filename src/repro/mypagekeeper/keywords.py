@@ -1,0 +1,60 @@
+"""Spam-keyword lexicon (Sec 2.2).
+
+MyPageKeeper's classifier uses the presence of spam keywords such as
+'FREE', 'Deal', and 'Hurry' as a post feature — malicious posts are far
+more likely to contain them.  The lexicon below extends the paper's
+examples with the vocabulary its example scam posts use (Table 9:
+"WOW I just got 5000 Facebook Credits for Free", "Get Your Free
+Facebook Sim Card", ...).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SPAM_KEYWORDS", "spam_keyword_count", "contains_spam_keyword"]
+
+SPAM_KEYWORDS: frozenset[str] = frozenset(
+    {
+        "free",
+        "deal",
+        "hurry",
+        "wow",
+        "omg",
+        "credits",
+        "gift",
+        "giftcard",
+        "prize",
+        "winner",
+        "won",
+        "ipad",
+        "recharge",
+        "offer",
+        "offers",
+        "limited",
+        "exclusive",
+        "claim",
+        "survey",
+        "stalker",
+        "stalking",
+        "viewers",
+        "unlock",
+        "shocking",
+        "sexiest",
+    }
+)
+
+_WORD_RE = re.compile(r"[a-z0-9']+")
+
+
+def _tokens(message: str) -> list[str]:
+    return _WORD_RE.findall(message.lower())
+
+
+def spam_keyword_count(message: str) -> int:
+    """Number of token occurrences drawn from the spam lexicon."""
+    return sum(1 for token in _tokens(message) if token in SPAM_KEYWORDS)
+
+
+def contains_spam_keyword(message: str) -> bool:
+    return spam_keyword_count(message) > 0

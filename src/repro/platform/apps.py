@@ -1,0 +1,185 @@
+"""Third-party applications and the platform's app registry.
+
+Each application mirrors the attributes the paper crawls: the Open
+Graph summary (name, description, company, category, monthly active
+users), the installation-time permission set and redirect URI, the
+client ID handed out by the installation URL (Sec 4.1.4), and the
+profile-feed posts (Sec 4.1.5).
+
+``truth_malicious`` is the simulation's hidden ground-truth label.  It
+exists so experiments can score classifiers; nothing in the FRAppE
+pipeline reads it — FRAppE sees apps only through the crawler and the
+post log, exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.platform.permissions import PUBLISH_STREAM, validate_permissions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.platform.posts import Post
+
+__all__ = ["FacebookApp", "AppRegistry"]
+
+#: Facebook category vocabulary (a subset of the 2012 list).
+APP_CATEGORIES = (
+    "Games",
+    "Entertainment",
+    "Lifestyle",
+    "Utilities",
+    "News",
+    "Sports",
+    "Education",
+    "Business",
+    "Communication",
+    "Music",
+)
+
+
+@dataclass
+class FacebookApp:
+    """One third-party application registered on the platform."""
+
+    app_id: str
+    name: str
+    developer_id: str
+    created_day: int = 0
+    # --- Open Graph summary fields (empty string = not configured) ----
+    description: str = ""
+    company: str = ""
+    category: str = ""
+    # --- installation configuration ------------------------------------
+    permissions: tuple[str, ...] = (PUBLISH_STREAM,)
+    redirect_uri: str = "https://apps.facebook.com/app"
+    #: Sibling app IDs the install URL may hand out as the client ID
+    #: instead of this app's own ID (Sec 4.1.4).  Empty = honest.
+    client_id_pool: tuple[str, ...] = ()
+    #: Whether an automated crawler can follow this app's install-URL
+    #: redirect flow.  Many 2012 install flows were human-only (Sec 2.3:
+    #: "automatically crawling the permissions for all apps is not
+    #: trivial"), which is why D-Inst is much smaller than D-Sample.
+    install_flow_crawlable: bool = True
+    # --- lifecycle -------------------------------------------------------
+    deleted_day: int | None = None
+    # --- engagement ------------------------------------------------------
+    #: Monthly active users over the crawl window (Fig 4).
+    mau_series: tuple[int, ...] = ()
+    #: Posts made by users/developers on the app's profile page.
+    profile_feed: list["Post"] = field(default_factory=list)
+    # --- hidden ground truth (never read by FRAppE) ----------------------
+    truth_malicious: bool = False
+    #: Hacker organisation controlling this app, if malicious.
+    truth_campaign_id: str | None = None
+
+    def __post_init__(self) -> None:
+        self.permissions = validate_permissions(self.permissions)
+
+    # --- summary-derived helpers -----------------------------------------
+
+    @property
+    def has_description(self) -> bool:
+        return bool(self.description)
+
+    @property
+    def has_company(self) -> bool:
+        return bool(self.company)
+
+    @property
+    def has_category(self) -> bool:
+        return bool(self.category)
+
+    @property
+    def permission_count(self) -> int:
+        return len(self.permissions)
+
+    @property
+    def median_mau(self) -> int:
+        if not self.mau_series:
+            return 0
+        return int(np.median(np.asarray(self.mau_series)))
+
+    @property
+    def max_mau(self) -> int:
+        return max(self.mau_series, default=0)
+
+    # --- lifecycle ---------------------------------------------------------
+
+    def is_deleted(self, day: int | None = None) -> bool:
+        """Has Facebook removed this app from the graph (as of *day*)?"""
+        if self.deleted_day is None:
+            return False
+        return day is None or day >= self.deleted_day
+
+    # --- platform URLs -------------------------------------------------------
+
+    @property
+    def graph_url(self) -> str:
+        return f"https://graph.facebook.com/{self.app_id}"
+
+    @property
+    def install_url(self) -> str:
+        return f"https://www.facebook.com/apps/application.php?id={self.app_id}"
+
+    @property
+    def canvas_url(self) -> str:
+        return f"https://apps.facebook.com/{self.app_id}"
+
+
+class AppRegistry:
+    """All applications known to the platform, indexed by app ID."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._apps: dict[str, FacebookApp] = {}
+
+    def __len__(self) -> int:
+        return len(self._apps)
+
+    def __contains__(self, app_id: str) -> bool:
+        return app_id in self._apps
+
+    def mint_app_id(self) -> str:
+        """Mint a fresh Facebook-style numeric app ID."""
+        while True:
+            app_id = str(self._rng.integers(10**14, 10**15))
+            if app_id not in self._apps:
+                return app_id
+
+    def register(self, app: FacebookApp) -> FacebookApp:
+        if app.app_id in self._apps:
+            raise ValueError(f"app ID already registered: {app.app_id}")
+        self._apps[app.app_id] = app
+        return app
+
+    def create(self, **kwargs) -> FacebookApp:
+        """Mint an ID and register a new app in one step."""
+        app = FacebookApp(app_id=self.mint_app_id(), **kwargs)
+        return self.register(app)
+
+    def get(self, app_id: str) -> FacebookApp:
+        return self._apps[app_id]
+
+    def maybe_get(self, app_id: str) -> FacebookApp | None:
+        return self._apps.get(app_id)
+
+    def all_apps(self) -> list[FacebookApp]:
+        return list(self._apps.values())
+
+    def alive(self, day: int | None = None) -> list[FacebookApp]:
+        return [a for a in self._apps.values() if not a.is_deleted(day)]
+
+    def by_name(self, name: str) -> list[FacebookApp]:
+        return [a for a in self._apps.values() if a.name == name]
+
+    def malicious(self) -> list[FacebookApp]:
+        """Ground-truth malicious apps — for scoring experiments only."""
+        return [a for a in self._apps.values() if a.truth_malicious]
+
+    def benign(self) -> list[FacebookApp]:
+        """Ground-truth benign apps — for scoring experiments only."""
+        return [a for a in self._apps.values() if not a.truth_malicious]

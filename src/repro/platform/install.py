@@ -1,0 +1,115 @@
+"""The application installation flow (Fig 2, Sec 4.1.4).
+
+Visiting an app's installation URL makes Facebook fetch the app's
+configured parameters and redirect the user to a permission dialog whose
+``client ID`` parameter names the app that will actually be installed.
+Honest apps use their own ID; 78% of malicious apps hand out a sibling
+app's ID drawn from a rotating pool, so a single advertised URL installs
+many different apps (Sec 4.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.platform.apps import AppRegistry, FacebookApp
+from repro.platform.oauth import AccessToken, TokenService
+from repro.platform.users import UserBase
+
+__all__ = ["InstallPrompt", "InstallationService", "AppRemovedError"]
+
+
+class AppRemovedError(LookupError):
+    """Raised when the install URL of a removed app is visited."""
+
+
+@dataclass(frozen=True)
+class InstallPrompt:
+    """The permission dialog presented after the install-URL redirect."""
+
+    #: app whose install URL was visited
+    requested_app_id: str
+    #: app that will actually be installed if the user accepts
+    client_id: str
+    permissions: tuple[str, ...]
+    redirect_uri: str
+
+    @property
+    def client_id_mismatch(self) -> bool:
+        return self.client_id != self.requested_app_id
+
+
+class InstallationService:
+    """Implements install-URL visits and permission-dialog acceptance."""
+
+    def __init__(
+        self,
+        registry: AppRegistry,
+        tokens: TokenService,
+        users: UserBase,
+        rng: np.random.Generator,
+    ) -> None:
+        self._registry = registry
+        self._tokens = tokens
+        self._users = users
+        self._rng = rng
+        self._install_counts: dict[str, int] = {}
+
+    def visit_install_url(self, app_id: str, day: int | None = None) -> InstallPrompt:
+        """Visit ``facebook.com/apps/application.php?id=<app_id>``.
+
+        Returns the resulting permission dialog.  Raises
+        :class:`AppRemovedError` for apps deleted from the graph, as the
+        real URL 404s for them.
+        """
+        app = self._registry.maybe_get(app_id)
+        if app is None or app.is_deleted(day):
+            raise AppRemovedError(app_id)
+        client = self._pick_client_app(app, day)
+        return InstallPrompt(
+            requested_app_id=app.app_id,
+            client_id=client.app_id,
+            permissions=client.permissions,
+            redirect_uri=client.redirect_uri,
+        )
+
+    def _pick_client_app(self, app: FacebookApp, day: int | None) -> FacebookApp:
+        """Resolve the client ID the install URL hands out.
+
+        Malicious apps rotate over a pool of sibling apps; deleted
+        siblings are skipped (that is the survivability point of the
+        scheme — Sec 4.1.4).
+        """
+        if not app.client_id_pool:
+            return app
+        candidates = [
+            sibling
+            for sid in app.client_id_pool
+            if (sibling := self._registry.maybe_get(sid)) is not None
+            and not sibling.is_deleted(day)
+        ]
+        if not candidates:
+            return app
+        return candidates[int(self._rng.integers(0, len(candidates)))]
+
+    def accept(self, prompt: InstallPrompt, user_id: int, day: int = 0) -> AccessToken:
+        """The user grants the requested permissions.
+
+        Installs the *client* app (not necessarily the requested one)
+        and returns the OAuth token handed to its application server.
+        """
+        self._users.install_app(user_id, prompt.client_id)
+        self._install_counts[prompt.client_id] = (
+            self._install_counts.get(prompt.client_id, 0) + 1
+        )
+        return self._tokens.issue(
+            user_id=user_id,
+            app_id=prompt.client_id,
+            scopes=prompt.permissions,
+            day=day,
+        )
+
+    def install_count(self, app_id: str) -> int:
+        return self._install_counts.get(app_id, 0)

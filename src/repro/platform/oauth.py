@@ -1,0 +1,74 @@
+"""OAuth 2.0 access tokens (Fig 2 of the paper).
+
+When a user installs an app, Facebook hands the application server an
+OAuth token scoped to the permissions the user granted.  The token is
+what lets the app read profile data and post on the user's wall — and
+what hackers exfiltrate to their own servers (step 5 in Fig 2).
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, field
+
+__all__ = ["AccessToken", "TokenService"]
+
+
+@dataclass(frozen=True)
+class AccessToken:
+    """An OAuth 2.0 bearer token for (user, app, scopes)."""
+
+    token: str
+    user_id: int
+    app_id: str
+    scopes: tuple[str, ...]
+    issued_day: int = 0
+
+    def allows(self, permission: str) -> bool:
+        return permission in self.scopes
+
+
+class TokenService:
+    """Issues and validates access tokens; supports revocation."""
+
+    def __init__(self) -> None:
+        self._tokens: dict[str, AccessToken] = {}
+        self._revoked: set[str] = set()
+
+    def issue(
+        self, user_id: int, app_id: str, scopes: tuple[str, ...], day: int = 0
+    ) -> AccessToken:
+        token = AccessToken(
+            token=secrets.token_hex(16),
+            user_id=user_id,
+            app_id=app_id,
+            scopes=tuple(scopes),
+            issued_day=day,
+        )
+        self._tokens[token.token] = token
+        return token
+
+    def validate(self, raw_token: str) -> AccessToken | None:
+        """Return the token record if valid and unrevoked, else ``None``."""
+        if raw_token in self._revoked:
+            return None
+        return self._tokens.get(raw_token)
+
+    def revoke(self, raw_token: str) -> None:
+        self._revoked.add(raw_token)
+
+    def revoke_app(self, app_id: str) -> int:
+        """Revoke every token issued to *app_id* (moderation takedown)."""
+        revoked = 0
+        for raw, record in self._tokens.items():
+            if record.app_id == app_id and raw not in self._revoked:
+                self._revoked.add(raw)
+                revoked += 1
+        return revoked
+
+    def tokens_of_app(self, app_id: str) -> list[AccessToken]:
+        return [
+            t
+            for t in self._tokens.values()
+            if t.app_id == app_id and t.token not in self._revoked
+        ]

@@ -1,0 +1,91 @@
+"""The Facebook permission pool (Sec 4.1.2).
+
+At install time every app requests a subset of 64 permissions
+pre-defined by Facebook.  The paper's Fig 6 ranks the five permissions
+most requested by each class; ``publish_stream`` (the ability to post on
+the user's wall) dominates malicious apps because it is the only
+capability spam campaigns need.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PERMISSION_POOL",
+    "PUBLISH_STREAM",
+    "OFFLINE_ACCESS",
+    "TOP_BENIGN_PERMISSIONS",
+    "validate_permissions",
+]
+
+PUBLISH_STREAM = "publish_stream"
+OFFLINE_ACCESS = "offline_access"
+USER_BIRTHDAY = "user_birthday"
+EMAIL = "email"
+PUBLISH_ACTIONS = "publish_actions"
+
+#: The five permissions Fig 6 reports as most requested.
+TOP_BENIGN_PERMISSIONS = (
+    PUBLISH_STREAM,
+    OFFLINE_ACCESS,
+    USER_BIRTHDAY,
+    EMAIL,
+    PUBLISH_ACTIONS,
+)
+
+_USER_FIELDS = (
+    "about_me", "activities", "birthday", "checkins", "education_history",
+    "events", "games_activity", "groups", "hometown", "interests", "likes",
+    "location", "notes", "online_presence", "photo_video_tags", "photos",
+    "questions", "relationship_details", "relationships", "religion_politics",
+    "status", "subscriptions", "videos", "website", "work_history",
+)
+
+#: The full pool of 64 permissions, modelled on the 2012 permissions
+#: reference: wall/actions publishing, offline access, contact fields,
+#: ``user_*`` profile fields, the matching ``friends_*`` fields, and a
+#: handful of extended capabilities.
+PERMISSION_POOL: tuple[str, ...] = (
+    (
+        PUBLISH_STREAM,
+        PUBLISH_ACTIONS,
+        OFFLINE_ACCESS,
+        EMAIL,
+        "read_stream",
+        "read_friendlists",
+        "read_insights",
+        "read_mailbox",
+        "read_requests",
+        "manage_pages",
+        "manage_notifications",
+        "rsvp_event",
+        "xmpp_login",
+        "ads_management",
+    )
+    + tuple(f"user_{f}" for f in _USER_FIELDS)
+    + tuple(f"friends_{f}" for f in _USER_FIELDS)
+)
+
+# ``user_birthday`` appears via the _USER_FIELDS expansion:
+assert USER_BIRTHDAY in PERMISSION_POOL
+assert len(PERMISSION_POOL) == 64, len(PERMISSION_POOL)
+assert len(set(PERMISSION_POOL)) == 64
+
+_POOL_SET = frozenset(PERMISSION_POOL)
+
+
+def validate_permissions(permissions: list[str] | tuple[str, ...]) -> tuple[str, ...]:
+    """Check a requested permission set against the platform pool.
+
+    Returns the deduplicated tuple (stable order).  Raises
+    ``ValueError`` on an unknown permission or an empty request — every
+    app implicitly needs at least basic access, which the paper counts
+    as one permission.
+    """
+    seen: dict[str, None] = {}
+    for perm in permissions:
+        if perm not in _POOL_SET:
+            raise ValueError(f"unknown permission: {perm!r}")
+        seen.setdefault(perm)
+    if not seen:
+        raise ValueError("an app must request at least one permission")
+    return tuple(seen)

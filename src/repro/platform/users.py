@@ -1,0 +1,131 @@
+"""User accounts and the friendship graph.
+
+The simulation keeps users lightweight — an integer ID plus install and
+subscription state — because the paper's pipeline never needs the full
+2.2M-user social graph: MyPageKeeper observes the walls of subscribed
+users, and propagation is driven by campaign dynamics.  A small-world
+:class:`SocialGraph` is provided for the examples and for propagation
+demos where an explicit friend structure matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["UserBase", "SocialGraph"]
+
+
+@dataclass
+class _UserRecord:
+    """Per-user platform state (installs, MyPageKeeper subscription)."""
+
+    user_id: int
+    installed_apps: set[str] = field(default_factory=set)
+    subscribed_to_mpk: bool = False
+
+
+class UserBase:
+    """The population of platform users.
+
+    Records are materialised lazily: most users never install a
+    monitored security app and never need an object.
+    """
+
+    def __init__(self, n_users: int, rng: np.random.Generator) -> None:
+        if n_users <= 0:
+            raise ValueError("need at least one user")
+        self.n_users = n_users
+        self._rng = rng
+        self._records: dict[int, _UserRecord] = {}
+
+    def __len__(self) -> int:
+        return self.n_users
+
+    def record(self, user_id: int) -> _UserRecord:
+        if not 0 <= user_id < self.n_users:
+            raise KeyError(f"no such user: {user_id}")
+        if user_id not in self._records:
+            self._records[user_id] = _UserRecord(user_id)
+        return self._records[user_id]
+
+    def sample_users(self, n: int) -> np.ndarray:
+        """Sample *n* distinct user IDs uniformly."""
+        n = min(n, self.n_users)
+        return self._rng.choice(self.n_users, size=n, replace=False)
+
+    # -- MyPageKeeper subscription ---------------------------------------
+
+    def subscribe_to_mpk(self, user_ids: np.ndarray | list[int]) -> None:
+        for uid in user_ids:
+            self.record(int(uid)).subscribed_to_mpk = True
+
+    def subscribed_users(self) -> list[int]:
+        return sorted(
+            uid for uid, rec in self._records.items() if rec.subscribed_to_mpk
+        )
+
+    def is_subscribed(self, user_id: int) -> bool:
+        rec = self._records.get(user_id)
+        return rec is not None and rec.subscribed_to_mpk
+
+    # -- installs -----------------------------------------------------------
+
+    def install_app(self, user_id: int, app_id: str) -> None:
+        self.record(user_id).installed_apps.add(app_id)
+
+    def has_installed(self, user_id: int, app_id: str) -> bool:
+        rec = self._records.get(user_id)
+        return rec is not None and app_id in rec.installed_apps
+
+
+class SocialGraph:
+    """A Watts-Strogatz small-world friendship graph over a user range.
+
+    Used by the examples to demonstrate app propagation along
+    friendships; the measurement pipeline itself does not require it.
+    """
+
+    def __init__(
+        self,
+        n_users: int,
+        mean_friends: int,
+        rng: np.random.Generator,
+        rewire_probability: float = 0.1,
+    ) -> None:
+        if mean_friends >= n_users:
+            raise ValueError("mean_friends must be smaller than n_users")
+        self.n_users = n_users
+        self._adjacency: list[set[int]] = [set() for _ in range(n_users)]
+        k = max(2, mean_friends // 2 * 2)  # even ring degree
+        for u in range(n_users):
+            for offset in range(1, k // 2 + 1):
+                v = (u + offset) % n_users
+                self._add_edge(u, v)
+        # Rewire a fraction of edges for short path lengths.
+        for u in range(n_users):
+            for v in list(self._adjacency[u]):
+                if v > u and rng.random() < rewire_probability:
+                    w = int(rng.integers(0, n_users))
+                    if w != u and w not in self._adjacency[u]:
+                        self._remove_edge(u, v)
+                        self._add_edge(u, w)
+
+    def _add_edge(self, u: int, v: int) -> None:
+        if u != v:
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+
+    def _remove_edge(self, u: int, v: int) -> None:
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+
+    def friends(self, user_id: int) -> set[int]:
+        return set(self._adjacency[user_id])
+
+    def degree(self, user_id: int) -> int:
+        return len(self._adjacency[user_id])
+
+    def edge_count(self) -> int:
+        return sum(len(adj) for adj in self._adjacency) // 2

@@ -1,0 +1,27 @@
+"""Text similarity primitives used to compare application names.
+
+The paper measures name similarity with the Damerau-Levenshtein edit
+distance normalized by the longer name's length (Sec 4.2.1), clusters app
+names at several similarity thresholds (Fig 10/11), and detects
+typosquatting of popular app names (Sec 5.3).
+"""
+
+from repro.text.editdist import (
+    damerau_levenshtein,
+    levenshtein,
+    name_similarity,
+    unrestricted_damerau_levenshtein,
+)
+from repro.text.clustering import NameClustering, cluster_names
+from repro.text.typosquat import is_typosquat, strip_version_suffix
+
+__all__ = [
+    "damerau_levenshtein",
+    "levenshtein",
+    "name_similarity",
+    "unrestricted_damerau_levenshtein",
+    "NameClustering",
+    "cluster_names",
+    "is_typosquat",
+    "strip_version_suffix",
+]

@@ -1,0 +1,31 @@
+"""Simulated web/URL infrastructure surrounding the Facebook platform.
+
+The paper's measurements depend on several external services: the
+``bit.ly`` shortener and its click-count API (Fig 3, Sec 6.1), the
+Web-of-Trust domain reputation service (Fig 8), URL blacklists feeding
+MyPageKeeper (Sec 2.2), the indirection websites hackers use to rotate
+app promotion targets (Sec 6.1), and the hosting providers behind them
+(one third on Amazon).  This package simulates all of them offline.
+"""
+
+from repro.urlinfra.url import Url, domain_of, is_facebook_url, registered_domain
+from repro.urlinfra.shortener import Shortener, ShortLink
+from repro.urlinfra.wot import WotService, WOT_UNKNOWN
+from repro.urlinfra.blacklist import UrlBlacklist
+from repro.urlinfra.redirector import IndirectionSite, RedirectorNetwork
+from repro.urlinfra.hosting import HostingRegistry
+
+__all__ = [
+    "Url",
+    "domain_of",
+    "is_facebook_url",
+    "registered_domain",
+    "Shortener",
+    "ShortLink",
+    "WotService",
+    "WOT_UNKNOWN",
+    "UrlBlacklist",
+    "IndirectionSite",
+    "RedirectorNetwork",
+    "HostingRegistry",
+]

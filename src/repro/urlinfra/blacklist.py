@@ -1,0 +1,57 @@
+"""URL blacklists (one of MyPageKeeper's inputs, Sec 2.2).
+
+MyPageKeeper combines URL blacklists with its own post classifier.  The
+blacklist matches on exact URL or on registered domain, mirroring how
+feeds like Google Safe Browsing or PhishTank are applied in practice.
+Blacklisting lags the appearance of a malicious URL, which the
+simulation models with an explicit delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.urlinfra.url import domain_of
+
+__all__ = ["UrlBlacklist"]
+
+
+@dataclass
+class UrlBlacklist:
+    """A URL/domain blacklist with time-delayed entries.
+
+    Time is measured in simulation days.  An entry added at day *d*
+    matches lookups at any day >= *d*; lookups with ``day=None`` ignore
+    timing and match everything ever listed.
+    """
+
+    _urls: dict[str, int] = field(default_factory=dict)
+    _domains: dict[str, int] = field(default_factory=dict)
+
+    def add_url(self, url: str, day: int = 0) -> None:
+        existing = self._urls.get(url)
+        if existing is None or day < existing:
+            self._urls[url] = day
+
+    def add_domain(self, domain: str, day: int = 0) -> None:
+        domain = domain.lower()
+        existing = self._domains.get(domain)
+        if existing is None or day < existing:
+            self._domains[domain] = day
+
+    def __len__(self) -> int:
+        return len(self._urls) + len(self._domains)
+
+    def contains(self, url: str, day: int | None = None) -> bool:
+        """Is *url* blacklisted (as of *day*, if given)?"""
+        listed_day = self._urls.get(url)
+        if listed_day is None:
+            domain = domain_of(url)
+            if domain:
+                listed_day = self._domains.get(domain)
+        if listed_day is None:
+            return False
+        return day is None or day >= listed_day
+
+    def __contains__(self, url: str) -> bool:
+        return self.contains(url)

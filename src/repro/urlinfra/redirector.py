@@ -1,0 +1,73 @@
+"""Indirection websites used for app promotion (Sec 6.1b).
+
+Posts made by a promoter app carry a (usually shortened) URL pointing to
+a website *outside* Facebook.  That website dynamically forwards each
+visitor to the installation page of one of many promoted apps, rotating
+targets over time.  The paper found 103 such sites pointing to 4,676
+different malicious apps, a third of them hosted on amazonaws.com.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IndirectionSite", "RedirectorNetwork"]
+
+
+@dataclass
+class IndirectionSite:
+    """One redirection website and its rotating pool of target apps."""
+
+    url: str
+    #: app IDs whose installation pages this site forwards to
+    target_app_ids: list[str]
+    hosting_provider: str = "unknown"
+
+    def __post_init__(self) -> None:
+        if not self.target_app_ids:
+            raise ValueError("an indirection site needs at least one target")
+
+    def resolve(self, rng: np.random.Generator) -> str:
+        """Follow the redirect once: returns the app ID landed on."""
+        index = int(rng.integers(0, len(self.target_app_ids)))
+        return self.target_app_ids[index]
+
+
+class RedirectorNetwork:
+    """All indirection websites in the simulated web."""
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+        self._sites: dict[str, IndirectionSite] = {}
+
+    def __len__(self) -> int:
+        return len(self._sites)
+
+    def register(self, site: IndirectionSite) -> None:
+        if site.url in self._sites:
+            raise ValueError(f"site already registered: {site.url}")
+        self._sites[site.url] = site
+
+    def is_indirection(self, url: str) -> bool:
+        return url in self._sites
+
+    def site(self, url: str) -> IndirectionSite:
+        return self._sites[url]
+
+    def sites(self) -> list[IndirectionSite]:
+        return list(self._sites.values())
+
+    def follow(self, url: str) -> str:
+        """Visit *url* once and return the app ID it forwards to."""
+        return self._sites[url].resolve(self._rng)
+
+    def probe(self, url: str, times: int) -> set[str]:
+        """Follow *url* repeatedly and collect the distinct landing apps.
+
+        This is the paper's measurement method: each indirection site
+        was followed 100 times a day for a month and a half with an
+        instrumented browser.
+        """
+        return {self.follow(url) for _ in range(times)}

@@ -1,0 +1,128 @@
+"""A bit.ly-style URL shortener with a click-count API.
+
+Fig 3 of the paper measures the reach of malicious apps through the
+click counts that the bit.ly API reports for links the apps posted.  The
+paper notes two caveats which this model reproduces:
+
+* the API resolves most but not all short links (5,197 of 5,700 —
+  links can be made private or deleted), and
+* click totals include clicks from outside Facebook, so they are an
+  upper bound on Facebook-originated clicks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShortLink", "Shortener"]
+
+_ALPHABET = "abcdefghijkmnpqrstuvwxyzABCDEFGHJKLMNPQRSTUVWXYZ23456789"
+
+
+@dataclass
+class ShortLink:
+    """One shortened URL and its click counters."""
+
+    code: str
+    long_url: str
+    domain: str
+    resolvable: bool = True
+    clicks_facebook: int = 0
+    clicks_external: int = 0
+
+    @property
+    def short_url(self) -> str:
+        return f"http://{self.domain}/{self.code}"
+
+    @property
+    def total_clicks(self) -> int:
+        return self.clicks_facebook + self.clicks_external
+
+
+class Shortener:
+    """One shortening service (``bit.ly`` by default).
+
+    >>> rng = np.random.default_rng(0)
+    >>> s = Shortener(rng)
+    >>> short = s.shorten("http://example.com/page")
+    >>> s.expand(short) == "http://example.com/page"
+    True
+    """
+
+    def __init__(self, rng: np.random.Generator, domain: str = "bit.ly") -> None:
+        self.domain = domain
+        self._rng = rng
+        self._by_code: dict[str, ShortLink] = {}
+        self._by_long: dict[str, str] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_code)
+
+    def shorten(self, long_url: str, reuse: bool = True) -> str:
+        """Shorten *long_url*, reusing an existing code unless *reuse* is False."""
+        if reuse and long_url in self._by_long:
+            return self._by_code[self._by_long[long_url]].short_url
+        code = self._mint_code()
+        link = ShortLink(code=code, long_url=long_url, domain=self.domain)
+        self._by_code[code] = link
+        self._by_long[long_url] = code
+        return link.short_url
+
+    def _mint_code(self) -> str:
+        while True:
+            chars = self._rng.choice(list(_ALPHABET), size=6)
+            code = "".join(chars)
+            if code not in self._by_code:
+                return code
+
+    def owns(self, url: str) -> bool:
+        """Is *url* a short link minted by this service?"""
+        return self._code_of(url) is not None
+
+    def _code_of(self, url: str) -> str | None:
+        prefix_http = f"http://{self.domain}/"
+        prefix_https = f"https://{self.domain}/"
+        for prefix in (prefix_http, prefix_https):
+            if url.startswith(prefix):
+                code = url[len(prefix) :]
+                if code in self._by_code:
+                    return code
+        return None
+
+    def link(self, url: str) -> ShortLink:
+        code = self._code_of(url)
+        if code is None:
+            raise KeyError(f"unknown short URL: {url}")
+        return self._by_code[code]
+
+    # -- API surface (what the paper's scripts call) ---------------------
+
+    def expand(self, url: str) -> str | None:
+        """Resolve a short URL to its target; ``None`` if unresolvable.
+
+        Mirrors the bit.ly expand API: private/deleted links fail.
+        """
+        link = self.link(url)
+        return link.long_url if link.resolvable else None
+
+    def clicks(self, url: str) -> int:
+        """Total click count for a short URL (Facebook + elsewhere)."""
+        return self.link(url).total_clicks
+
+    # -- simulation hooks -------------------------------------------------
+
+    def record_click(self, url: str, n: int = 1, from_facebook: bool = True) -> None:
+        link = self.link(url)
+        if from_facebook:
+            link.clicks_facebook += n
+        else:
+            link.clicks_external += n
+
+    def make_unresolvable(self, url: str) -> None:
+        """Mark a link private/deleted so the expand API fails on it."""
+        self.link(url).resolvable = False
+
+    def all_links(self) -> list[ShortLink]:
+        return list(self._by_code.values())

@@ -1,0 +1,42 @@
+"""Shared fixtures: one small simulated world per test session.
+
+Building a world and running the pipeline is the expensive part, so the
+suite shares session-scoped instances at ``scale=0.01``; tests must not
+mutate them (tests that need mutation build their own tiny worlds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleConfig
+from repro.core.pipeline import FrappePipeline, PipelineResult
+from repro.collusion.appnets import CollusionAnalyzer, CollusionGraph
+from repro.ecosystem.simulation import SimulatedWorld, run_simulation
+
+TEST_SCALE = 0.01
+TEST_SEED = 424242
+
+
+@pytest.fixture(scope="session")
+def world() -> SimulatedWorld:
+    """A small, fully built world (shared; do not mutate)."""
+    return run_simulation(ScaleConfig(scale=TEST_SCALE, master_seed=TEST_SEED))
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(world: SimulatedWorld) -> PipelineResult:
+    """The measurement pipeline over the shared world, sweep included."""
+    return FrappePipeline().run_on_world(world, sweep_unlabelled=True)
+
+
+@pytest.fixture(scope="session")
+def collusion(pipeline_result: PipelineResult) -> CollusionGraph:
+    analyzer = CollusionAnalyzer(pipeline_result.world, probe_visits=1500)
+    return analyzer.discover()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

@@ -1,0 +1,70 @@
+"""Tests for distribution helpers and report rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.distributions import (
+    empirical_cdf,
+    fraction_above,
+    fraction_at_least,
+    fraction_at_most,
+    fraction_below,
+)
+from repro.analysis.report import ExperimentReport, render_table
+
+_VALUES = st.lists(st.floats(-100, 100), max_size=40)
+_THRESH = st.floats(-100, 100)
+
+
+class TestDistributions:
+    def test_empirical_cdf_steps(self):
+        x, y = empirical_cdf([3, 1, 2])
+        assert x.tolist() == [1.0, 2.0, 3.0]
+        assert y.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty_inputs(self):
+        x, y = empirical_cdf([])
+        assert len(x) == 0
+        assert fraction_above([], 0) == 0.0
+        assert fraction_at_most([], 0) == 0.0
+
+    @given(values=_VALUES, threshold=_THRESH)
+    def test_complementarity(self, values, threshold):
+        above = fraction_above(values, threshold)
+        at_most = fraction_at_most(values, threshold)
+        if values:
+            assert above + at_most == pytest.approx(1.0)
+        below = fraction_below(values, threshold)
+        at_least = fraction_at_least(values, threshold)
+        if values:
+            assert below + at_least == pytest.approx(1.0)
+
+    @given(values=_VALUES, threshold=_THRESH)
+    def test_monotone_in_threshold(self, values, threshold):
+        assert fraction_above(values, threshold) <= fraction_above(
+            values, threshold - 1.0
+        )
+
+    @given(values=_VALUES)
+    def test_cdf_is_monotone(self, values):
+        _x, y = empirical_cdf(values)
+        assert np.all(np.diff(y) >= 0)
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [("1", "2"), ("333", "4")])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all lines equal width
+
+    def test_experiment_report_rows_and_render(self):
+        report = ExperimentReport("t1", "Title", notes="n")
+        report.add("metric", 1, 2)
+        report.add_fraction("frac", 0.5, 0.25)
+        text = report.render()
+        assert "t1: Title" in text
+        assert "50.0%" in text and "25.0%" in text
+        assert "note: n" in text
+        assert report.measured_by_metric()["metric"] == "2"

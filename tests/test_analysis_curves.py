@@ -1,0 +1,59 @@
+"""Tests for the ASCII CDF/bar renderers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.curves import ascii_bars, ascii_cdf
+
+
+class TestAsciiCdf:
+    def test_basic_shape(self):
+        text = ascii_cdf({"a": [1, 2, 3, 4, 5]}, width=20, height=6, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 1 + 6 + 3  # title + grid + axis + ticks + legend
+        assert "100%" in lines[1]
+        assert "a" in lines[-1]
+
+    def test_log_scale_drops_nonpositive(self):
+        text = ascii_cdf({"a": [0, 10, 100, 1000]}, log_x=True)
+        assert "[log x]" in text
+        assert "10" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in ascii_cdf({"a": []}, title="x")
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        text = ascii_cdf({"one": [1, 2], "two": [3, 4]})
+        legend = text.splitlines()[-1]
+        assert "* one" in legend and "o two" in legend
+
+    def test_constant_data_does_not_crash(self):
+        text = ascii_cdf({"a": [5, 5, 5]})
+        assert "100%" in text
+
+    @settings(deadline=None)
+    @given(
+        values=st.lists(st.floats(0.1, 1e6), min_size=1, max_size=50),
+        log_x=st.booleans(),
+    )
+    def test_never_crashes_on_positive_data(self, values, log_x):
+        text = ascii_cdf({"s": values}, log_x=log_x)
+        assert isinstance(text, str) and text
+
+
+class TestAsciiBars:
+    def test_fractions_render(self):
+        text = ascii_bars([("benign", 0.9), ("malicious", 0.1)], maximum=1.0)
+        lines = text.splitlines()
+        assert "90.0%" in lines[0]
+        assert "10.0%" in lines[1]
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_empty_rows(self):
+        assert ascii_bars([], title="nothing") == "nothing"
+
+    def test_values_above_maximum_are_clipped(self):
+        text = ascii_bars([("x", 2.0)], width=10, maximum=1.0)
+        assert "#" * 10 in text

@@ -1,0 +1,183 @@
+"""Tests for the collusion graph and AppNet discovery.
+
+Graph algorithms are cross-validated against networkx; discovery is
+checked both on a handcrafted miniature world and on the shared
+simulated world.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.collusion.appnets import CollusionAnalyzer
+from repro.collusion.graph import DirectedGraph
+
+_EDGES = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)), max_size=60
+)
+
+
+def _build_both(edges):
+    ours = DirectedGraph()
+    theirs = nx.DiGraph()
+    for src, dst in edges:
+        if src == dst:
+            continue
+        ours.add_edge(src, dst)
+        theirs.add_edge(src, dst)
+    return ours, theirs
+
+
+class TestDirectedGraph:
+    def test_self_loops_ignored(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "a")
+        assert len(graph) == 0
+
+    def test_degree_counts_both_directions_once(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "a")
+        assert graph.degree("a") == 1  # undirected view
+        assert graph.out_degree("a") == 1
+        assert graph.in_degree("a") == 1
+
+    def test_triangle_clustering(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        graph.add_edge("a", "c")
+        assert graph.local_clustering("a") == 1.0
+        assert graph.local_clustering("b") == 1.0
+
+    def test_star_clustering_is_zero(self):
+        graph = DirectedGraph()
+        for leaf in "bcde":
+            graph.add_edge("a", leaf)
+        assert graph.local_clustering("a") == 0.0
+        assert graph.local_clustering("b") == 0.0  # single neighbor
+
+    def test_subgraph(self):
+        graph = DirectedGraph()
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        sub = graph.subgraph({"a", "b"})
+        assert len(sub) == 2
+        assert sub.edge_count() == 1
+
+    @settings(deadline=None)
+    @given(edges=_EDGES)
+    def test_components_match_networkx(self, edges):
+        ours, theirs = _build_both(edges)
+        our_components = sorted(
+            sorted(c) for c in ours.connected_components()
+        )
+        nx_components = sorted(
+            sorted(c) for c in nx.weakly_connected_components(theirs)
+        )
+        assert sorted(map(len, our_components)) == sorted(map(len, nx_components))
+        assert sorted(our_components) == sorted(nx_components)
+
+    @settings(deadline=None)
+    @given(edges=_EDGES)
+    def test_clustering_matches_networkx(self, edges):
+        ours, theirs = _build_both(edges)
+        undirected = theirs.to_undirected()
+        expected = nx.clustering(undirected)
+        for node in ours.nodes():
+            assert ours.local_clustering(node) == pytest.approx(
+                expected[node], abs=1e-9
+            )
+
+    @settings(deadline=None)
+    @given(edges=_EDGES)
+    def test_degree_matches_networkx(self, edges):
+        ours, theirs = _build_both(edges)
+        undirected = theirs.to_undirected()
+        for node in ours.nodes():
+            assert ours.degree(node) == undirected.degree(node)
+
+
+class TestDiscoveryOnMiniWorld:
+    """Hand-wire a world: one promoter posting direct links + a site."""
+
+    @pytest.fixture(scope="class")
+    def mini(self):
+        from repro.ecosystem.simulation import run_simulation
+        from repro.config import ScaleConfig
+        # A tiny but real world keeps all the plumbing honest.
+        world = run_simulation(ScaleConfig(scale=0.01, master_seed=7))
+        analyzer = CollusionAnalyzer(world, probe_visits=1500)
+        return world, analyzer, analyzer.discover()
+
+    def test_only_malicious_apps_collude(self, mini):
+        world, _analyzer, collusion = mini
+        truth = world.truth_malicious_ids()
+        assert set(collusion.graph.nodes()) <= truth
+
+    def test_discovered_nodes_are_colluding_truth(self, mini):
+        world, _analyzer, collusion = mini
+        colluding = world.colluding_truth_ids()
+        found = set(collusion.graph.nodes())
+        # Coverage: at this tiny scale, promotee pods that no promoter
+        # happened to target stay invisible; half the colluding apps is
+        # the floor (larger scales rediscover far more).
+        assert len(found & colluding) >= 0.5 * len(colluding)
+        assert found <= colluding
+
+    def test_roles_partition_nodes(self, mini):
+        _world, _analyzer, collusion = mini
+        promoters = collusion.promoters()
+        promotees = collusion.promotees()
+        dual = collusion.dual_role()
+        assert not promoters & promotees
+        assert not promoters & dual
+        assert not promotees & dual
+        assert promoters | promotees | dual == set(collusion.graph.nodes())
+
+    def test_direct_edges_subset_of_graph(self, mini):
+        _world, _analyzer, collusion = mini
+        edges = set(collusion.graph.edges())
+        assert collusion.direct_edges <= edges
+
+    def test_components_respect_campaign_boundaries(self, mini):
+        world, _analyzer, collusion = mini
+        campaign_of = {}
+        for campaign in world.campaigns:
+            for app in campaign.apps:
+                campaign_of[app.app_id] = campaign.plan.campaign_id
+        for component in collusion.graph.connected_components():
+            campaigns = {campaign_of[n] for n in component}
+            assert len(campaigns) == 1  # promotion never crosses orgs
+
+    def test_stats_are_consistent(self, mini):
+        _world, analyzer, collusion = mini
+        stats = analyzer.stats(collusion)
+        assert stats.n_colluding == len(collusion.graph)
+        assert stats.n_promoters + stats.n_promotees + stats.n_dual == (
+            stats.n_colluding
+        )
+        assert sum(stats.top_component_sizes) <= stats.n_colluding
+        assert 0.0 <= stats.degree_over_10_fraction <= 1.0
+        assert 0.0 <= stats.clustering_over_074_fraction <= 1.0
+
+    def test_indirection_bookkeeping(self, mini):
+        world, analyzer, collusion = mini
+        indirection = collusion.indirection
+        for url in indirection.site_targets:
+            assert world.services.redirector.is_indirection(url)
+        assert indirection.bitly_links <= indirection.total_short_links
+
+    def test_site_probe_recovers_most_targets(self, mini):
+        world, _analyzer, collusion = mini
+        for url, observed in collusion.indirection.site_targets.items():
+            actual = set(world.services.redirector.site(url).target_app_ids)
+            assert observed <= actual
+            assert len(observed) >= 0.8 * len(actual)
+
+    def test_name_reuse_counts(self, mini):
+        _world, analyzer, collusion = mini
+        promoter_names, promotee_names = analyzer.name_reuse(collusion)
+        assert promoter_names <= max(len(collusion.indirection.promoters()), 1)
+        assert promotee_names <= max(len(collusion.indirection.promotees()), 1)

@@ -1,0 +1,146 @@
+"""Tests for FRAppE feature extraction."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.core.features import (
+    AGGREGATION_FEATURES,
+    ALL_FEATURES,
+    ON_DEMAND_FEATURES,
+    ROBUST_FEATURES,
+    FeatureExtractor,
+)
+from repro.crawler.crawler import CrawlRecord
+from repro.platform.posts import PostLog
+from repro.urlinfra.wot import WotService
+
+
+@pytest.fixture()
+def extractor(rng):
+    wot = WotService(rng)
+    wot.set_score("spam.com", 2.0)
+    log = PostLog()
+    log.new_post(day=0, user_id=0, app_id="x", app_name="The App",
+                 link="http://spam.com/a")
+    log.new_post(day=0, user_id=0, app_id="x", app_name="The App",
+                 link="https://apps.facebook.com/x")
+    log.new_post(day=0, user_id=0, app_id="x", app_name="The App")
+    log.new_post(day=0, user_id=0, app_id="y", app_name="Solo App")
+    return FeatureExtractor(
+        wot=wot,
+        post_log=log,
+        malicious_names=Counter({"The App": 3}),
+        known_malicious_ids={"x"},
+        id_to_name=log.app_names(),
+    )
+
+
+def _record(**kwargs):
+    defaults = dict(app_id="x", summary_ok=True, name="The App")
+    defaults.update(kwargs)
+    return CrawlRecord(**defaults)
+
+
+class TestFeatureGroups:
+    def test_group_definitions(self):
+        assert set(ON_DEMAND_FEATURES) | set(AGGREGATION_FEATURES) == set(ALL_FEATURES)
+        assert not set(ON_DEMAND_FEATURES) & set(AGGREGATION_FEATURES)
+        assert set(ROBUST_FEATURES) <= set(ALL_FEATURES)
+        assert "has_description" not in ROBUST_FEATURES  # trivially faked
+
+
+class TestOnDemandFeatures:
+    def test_summary_flags(self, extractor):
+        record = _record(description="d", company="", category="Games")
+        assert extractor.feature_value("has_description", record) == 1.0
+        assert extractor.feature_value("has_company", record) == 0.0
+        assert extractor.feature_value("has_category", record) == 1.0
+
+    def test_profile_posts_flag(self, extractor):
+        empty = _record()
+        filled = _record(feed_ok=True, profile_posts=[{"message": "hi"}])
+        assert extractor.feature_value("has_profile_posts", empty) == 0.0
+        assert extractor.feature_value("has_profile_posts", filled) == 1.0
+
+    def test_permission_count(self, extractor):
+        record = _record(inst_ok=True, permissions=("publish_stream", "email"))
+        assert extractor.feature_value("permission_count", record) == 2.0
+
+    def test_client_id_mismatch(self, extractor):
+        honest = _record(inst_ok=True, observed_client_id="x")
+        rotated = _record(inst_ok=True, observed_client_id="zzz")
+        assert extractor.feature_value("client_id_mismatch", honest) == 0.0
+        assert extractor.feature_value("client_id_mismatch", rotated) == 1.0
+
+    def test_wot_score(self, extractor):
+        spam = _record(inst_ok=True, redirect_uri="http://spam.com/lp")
+        facebook = _record(inst_ok=True, redirect_uri="https://apps.facebook.com/a")
+        unknown = _record(inst_ok=True, redirect_uri="http://nowhere.net/x")
+        missing = _record()
+        assert extractor.feature_value("wot_score", spam) == 2.0
+        assert extractor.feature_value("wot_score", facebook) > 90
+        assert extractor.feature_value("wot_score", unknown) == -1.0
+        assert extractor.feature_value("wot_score", missing) == -1.0
+
+
+class TestAggregationFeatures:
+    def test_name_match_excludes_self(self, extractor):
+        # 'x' is itself one of the 3 'The App' entries: 2 others remain.
+        record = _record()
+        assert extractor.feature_value("name_matches_malicious", record) == 1.0
+        # An unknown app with a unique name does not match.
+        solo = _record(app_id="y", name="Solo App")
+        assert extractor.feature_value("name_matches_malicious", solo) == 0.0
+
+    def test_name_match_self_only_does_not_count(self, rng):
+        extractor = FeatureExtractor(
+            wot=WotService(rng),
+            malicious_names=Counter({"Lonely": 1}),
+            known_malicious_ids={"x"},
+        )
+        record = _record(name="Lonely")
+        assert extractor.feature_value("name_matches_malicious", record) == 0.0
+
+    def test_name_falls_back_to_post_metadata(self, extractor):
+        # Summary crawl failed (deleted app): name comes from posts.
+        record = _record(summary_ok=False, name=None)
+        assert extractor.feature_value("name_matches_malicious", record) == 1.0
+
+    def test_external_link_ratio(self, extractor):
+        record = _record()
+        # 1 external of 3 posts (the facebook.com link is internal).
+        assert extractor.feature_value("external_link_ratio", record) == (
+            pytest.approx(1 / 3)
+        )
+
+    def test_external_ratio_without_posts(self, extractor):
+        record = _record(app_id="unseen-app")
+        assert extractor.feature_value("external_link_ratio", record) == 0.0
+
+
+class TestVectors:
+    def test_vector_order_matches_features(self, extractor):
+        record = _record(description="d")
+        vector = extractor.vector(record, ("has_description", "wot_score"))
+        assert vector.tolist() == [1.0, -1.0]
+
+    def test_matrix_shape(self, extractor):
+        records = [_record(), _record(app_id="y", name="Solo App")]
+        matrix = extractor.matrix(records)
+        assert matrix.shape == (2, len(ALL_FEATURES))
+        assert extractor.matrix([], ALL_FEATURES).shape == (0, len(ALL_FEATURES))
+
+    def test_unknown_feature_rejected(self, extractor):
+        with pytest.raises(KeyError):
+            extractor.feature_value("bogus", _record())
+
+    def test_name_counter_helper(self):
+        records = {
+            "a": _record(app_id="a", name="N"),
+            "b": _record(app_id="b", name="N"),
+            "c": _record(app_id="c", name="M"),
+        }
+        counter = FeatureExtractor.name_counter(records, {"a", "b"})
+        assert counter == Counter({"N": 2})

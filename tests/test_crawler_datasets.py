@@ -1,0 +1,155 @@
+"""Tests for the crawler, Social Bakers, and dataset construction."""
+
+import numpy as np
+import pytest
+
+from repro.crawler.crawler import AppCrawler
+from repro.crawler.socialbakers import SocialBakers
+
+
+class TestSocialBakers:
+    def test_vetting_and_ratings(self, rng, world):
+        directory = SocialBakers(rng)
+        benign = world.registry.benign()[:200]
+        directory.vet_population(benign, coverage=0.9)
+        vetted = directory.vetted_app_ids()
+        assert 0.8 * 200 <= len(vetted) <= 200
+        ratings = [directory.rating(a) for a in vetted]
+        assert all(1.0 <= r <= 5.0 for r in ratings)
+        at_least_3 = np.mean([r >= 3.0 for r in ratings])
+        assert at_least_3 > 0.8  # "90% have a rating of at least 3"
+
+    def test_rating_bounds_enforced(self, rng):
+        directory = SocialBakers(rng)
+        with pytest.raises(ValueError):
+            directory.list_app("x", 0.5)
+
+
+class TestCrawler:
+    @pytest.fixture(scope="class")
+    def crawler(self, world):
+        return AppCrawler(world)
+
+    def _alive_benign(self, world):
+        day = world.schedule.inst_crawl_day + 120
+        return next(
+            a for a in world.registry.benign()
+            if not a.is_deleted(day) and a.install_flow_crawlable
+        )
+
+    def test_summary_crawl_of_alive_app(self, world, crawler):
+        app = self._alive_benign(world)
+        record = crawler.crawl_app(app.app_id)
+        assert record.summary_ok
+        assert record.name == app.name
+        assert record.description == app.description
+        # weekly crawls over three months
+        assert 10 <= len(record.mau_observations) <= 14
+
+    def test_deleted_app_crawls_fail(self, world, crawler):
+        deleted = next(
+            a for a in world.registry.malicious()
+            if a.is_deleted(world.schedule.profilefeed_crawl_day)
+        )
+        record = crawler.crawl_app(deleted.app_id)
+        assert not record.summary_ok
+        assert not record.feed_ok
+        assert not record.inst_ok
+        assert not record.complete
+        assert record.client_id_mismatch is None
+
+    def test_human_only_flow_blocks_inst_crawl(self, world, crawler):
+        app = next(
+            a for a in world.registry.benign()
+            if not a.install_flow_crawlable and not a.is_deleted()
+        )
+        record = crawler.crawl_app(app.app_id)
+        assert not record.inst_ok
+
+    def test_inst_crawl_observes_permissions(self, world, crawler):
+        app = self._alive_benign(world)
+        record = crawler.crawl_app(app.app_id)
+        assert record.inst_ok
+        # Honest benign app: client ID matches, permissions observed.
+        if not app.client_id_pool:
+            assert record.observed_client_id == app.app_id
+            assert record.permissions == app.permissions
+            assert record.client_id_mismatch is False
+
+    def test_median_max_mau(self, world, crawler):
+        app = self._alive_benign(world)
+        record = crawler.crawl_app(app.app_id)
+        assert record.max_mau >= record.median_mau > 0
+
+    def test_crawl_many_is_keyed_by_app(self, world, crawler):
+        ids = [a.app_id for a in world.registry.all_apps()[:5]]
+        records = crawler.crawl_many(ids)
+        assert set(records) == set(ids)
+
+
+class TestDatasets:
+    def test_sample_is_balanced_and_disjoint(self, pipeline_result):
+        bundle = pipeline_result.bundle
+        assert bundle.d_sample_malicious
+        assert len(bundle.d_sample_benign) == len(bundle.d_sample_malicious)
+        assert not (bundle.d_sample_benign & bundle.d_sample_malicious)
+
+    def test_sample_within_total(self, pipeline_result):
+        bundle = pipeline_result.bundle
+        assert bundle.d_sample <= bundle.d_total
+
+    def test_whitelist_excluded_from_malicious(self, pipeline_result):
+        bundle = pipeline_result.bundle
+        assert not (bundle.whitelist & bundle.d_sample_malicious)
+
+    def test_whitelist_rescues_piggybacked_populars(self, pipeline_result):
+        piggybacked = pipeline_result.world.piggybacked_ids()
+        bundle = pipeline_result.bundle
+        rescued = piggybacked & bundle.whitelist
+        assert len(rescued) >= 0.8 * len(piggybacked)
+
+    def test_labels(self, pipeline_result):
+        bundle = pipeline_result.bundle
+        malicious = next(iter(bundle.d_sample_malicious))
+        benign = next(iter(bundle.d_sample_benign))
+        assert bundle.label(malicious) == 1
+        assert bundle.label(benign) == 0
+        with pytest.raises(KeyError):
+            bundle.label("not-in-sample")
+
+    def test_dataset_hierarchy(self, pipeline_result):
+        bundle = pipeline_result.bundle
+        summary_b, summary_m = bundle.d_summary
+        inst_b, inst_m = bundle.d_inst
+        complete_b, complete_m = bundle.d_complete
+        assert summary_b <= bundle.d_sample_benign
+        assert inst_m <= bundle.d_sample_malicious
+        assert complete_b <= summary_b and complete_b <= inst_b
+        assert complete_m <= summary_m and complete_m <= inst_m
+
+    def test_crawl_survival_shape(self, pipeline_result):
+        """Malicious apps disappear from crawls far more than benign."""
+        bundle = pipeline_result.bundle
+        summary_b, summary_m = bundle.d_summary
+        benign_coverage = len(summary_b) / len(bundle.d_sample_benign)
+        malicious_coverage = len(summary_m) / len(bundle.d_sample_malicious)
+        assert benign_coverage > 0.85
+        assert malicious_coverage < 0.6
+
+    def test_table1_rows_structure(self, pipeline_result):
+        rows = pipeline_result.bundle.table1_rows()
+        assert [name for name, *_ in rows] == [
+            "D-Total", "D-Sample", "D-Summary", "D-Inst",
+            "D-ProfileFeed", "D-Complete",
+        ]
+
+    def test_ground_truth_label_quality(self, pipeline_result):
+        """Operational labels track the hidden truth (paper: FP <= 2.6%)."""
+        bundle = pipeline_result.bundle
+        truth = pipeline_result.world.truth_malicious_ids()
+        mislabelled = bundle.d_sample_malicious - truth
+        assert len(mislabelled) / len(bundle.d_sample_malicious) <= 0.03
+        benign_mislabelled = bundle.d_sample_benign & truth
+        # stealth malicious apps can sneak into the benign sample only
+        # if Social-Bakers-vetted, which hackers' apps are not
+        assert len(benign_mislabelled) / len(bundle.d_sample_benign) <= 0.05

@@ -1,0 +1,36 @@
+"""Tests for the shared experiment cache."""
+
+from repro.core.pipeline import PipelineResult
+from repro.experiments import common
+
+
+def test_get_result_caches_per_configuration():
+    common.clear_cache()
+    try:
+        first = common.get_result(scale=0.01, seed=31, sweep=False)
+        second = common.get_result(scale=0.01, seed=31, sweep=False)
+        assert first is second
+        assert isinstance(first, PipelineResult)
+    finally:
+        common.clear_cache()
+
+
+def test_sweep_result_satisfies_non_sweep_requests():
+    common.clear_cache()
+    try:
+        swept = common.get_result(scale=0.01, seed=32, sweep=True)
+        plain = common.get_result(scale=0.01, seed=32, sweep=False)
+        assert plain is swept
+    finally:
+        common.clear_cache()
+
+
+def test_collusion_cache_reuses_the_pipeline():
+    common.clear_cache()
+    try:
+        result, graph_a = common.get_collusion(scale=0.01, seed=33)
+        result_b, graph_b = common.get_collusion(scale=0.01, seed=33)
+        assert result is result_b
+        assert graph_a is graph_b
+    finally:
+        common.clear_cache()

@@ -1,0 +1,148 @@
+"""Tests for scaling, metrics, and cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ml.crossval import (
+    cross_validate,
+    stratified_kfold_indices,
+    subsample_to_ratio,
+)
+from repro.ml.metrics import ClassificationReport, confusion_report
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import SVC
+
+
+class TestScaler:
+    def test_standardises(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = StandardScaler().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_not_nan(self):
+        x = np.column_stack([np.ones(10), np.arange(10.0)])
+        z = StandardScaler().fit_transform(x)
+        assert np.all(np.isfinite(z))
+        assert np.allclose(z[:, 0], 0.0)
+
+    def test_transform_uses_training_statistics(self, rng):
+        train = rng.normal(0, 1, (50, 2))
+        scaler = StandardScaler().fit(train)
+        test = rng.normal(10, 1, (50, 2))
+        transformed = scaler.transform(test)
+        assert transformed.mean() > 5  # not re-centred on the test set
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+
+class TestMetrics:
+    def test_paper_conventions(self):
+        # 2 benign (1 flagged), 3 malicious (1 missed)
+        report = confusion_report(
+            y_true=np.array([0, 0, 1, 1, 1]),
+            y_pred=np.array([0, 1, 1, 1, 0]),
+        )
+        assert report.accuracy == pytest.approx(3 / 5)
+        assert report.false_positive_rate == pytest.approx(1 / 2)
+        assert report.false_negative_rate == pytest.approx(1 / 3)
+
+    def test_addition_pools_counts(self):
+        a = ClassificationReport(1, 2, 3, 4)
+        b = ClassificationReport(10, 20, 30, 40)
+        total = a + b
+        assert total.true_positives == 11
+        assert total.n_samples == 110
+
+    def test_empty_rates_are_zero(self):
+        empty = ClassificationReport(0, 0, 0, 0)
+        assert empty.accuracy == 0.0
+        assert empty.false_positive_rate == 0.0
+        assert empty.false_negative_rate == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            confusion_report(np.array([0, 1]), np.array([0]))
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.booleans()), min_size=1, max_size=60
+        )
+    )
+    def test_confusion_counts_partition_samples(self, pairs):
+        y_true = np.array([t for t, _ in pairs])
+        y_pred = np.array([p for _, p in pairs])
+        report = confusion_report(y_true, y_pred)
+        assert report.n_samples == len(pairs)
+        assert report.n_malicious == int(y_true.sum())
+        assert report.n_benign == len(pairs) - int(y_true.sum())
+        acc, fp, fn = report.as_percentages()
+        assert 0 <= acc <= 100 and 0 <= fp <= 100 and 0 <= fn <= 100
+
+
+class TestStratifiedKFold:
+    @given(
+        n_benign=st.integers(5, 60),
+        n_malicious=st.integers(5, 60),
+        k=st.integers(2, 5),
+    )
+    def test_folds_partition_and_stratify(self, n_benign, n_malicious, k):
+        y = np.array([0] * n_benign + [1] * n_malicious)
+        folds = stratified_kfold_indices(y, k, np.random.default_rng(0))
+        all_indices = np.concatenate(folds)
+        assert sorted(all_indices.tolist()) == list(range(len(y)))
+        per_fold_malicious = [int(y[f].sum()) for f in folds]
+        assert max(per_fold_malicious) - min(per_fold_malicious) <= 1
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_kfold_indices(np.array([0, 1]), 5, np.random.default_rng(0))
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(ValueError):
+            stratified_kfold_indices(np.zeros(10), 1, np.random.default_rng(0))
+
+
+class TestSubsample:
+    def test_exact_ratio(self, rng):
+        x = rng.normal(size=(300, 2))
+        y = np.array([0] * 200 + [1] * 100)
+        xr, yr = subsample_to_ratio(x, y, 4.0, rng)
+        assert (yr == 0).sum() == 4 * (yr == 1).sum()
+
+    def test_binding_constraint_uses_all_of_one_class(self, rng):
+        x = rng.normal(size=(110, 2))
+        y = np.array([0] * 100 + [1] * 10)
+        _, yr = subsample_to_ratio(x, y, 10.0, rng)
+        assert (yr == 1).sum() == 10
+        assert (yr == 0).sum() == 100
+
+    def test_requires_both_classes(self, rng):
+        with pytest.raises(ValueError):
+            subsample_to_ratio(np.zeros((5, 1)), np.zeros(5), 2.0, rng)
+
+    def test_invalid_ratio(self, rng):
+        with pytest.raises(ValueError):
+            subsample_to_ratio(np.zeros((5, 1)), np.array([0, 0, 0, 1, 1]), 0.0, rng)
+
+
+class TestCrossValidate:
+    def test_cv_on_separable_data(self, rng):
+        x = np.vstack([rng.normal(0, 1, (60, 3)), rng.normal(5, 1, (60, 3))])
+        y = np.array([0] * 60 + [1] * 60)
+        report = cross_validate(lambda: SVC(), x, y, rng=rng)
+        assert report.accuracy >= 0.98
+        assert report.n_samples == 120  # every sample tested exactly once
+
+    def test_cv_reports_chance_on_random_labels(self, rng):
+        x = rng.normal(size=(100, 3))
+        y = rng.integers(0, 2, 100)
+        report = cross_validate(lambda: SVC(), x, y, rng=rng)
+        assert report.accuracy < 0.75  # no signal to learn

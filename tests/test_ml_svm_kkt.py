@@ -1,0 +1,72 @@
+"""Optimality (KKT) checks for the SMO solver.
+
+A converged C-SVC solution must satisfy the dual constraints and the
+Karush-Kuhn-Tucker conditions; these tests verify them directly on the
+fitted model rather than trusting predictions alone.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.kernels import rbf_kernel
+from repro.ml.svm import SVC, _smo
+
+
+def _blobs(rng, n=80, separation=2.0, d=3):
+    x = np.vstack(
+        [rng.normal(0, 1, (n // 2, d)), rng.normal(separation, 1, (n // 2, d))]
+    )
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return x, y
+
+
+def _solve(x, y, c=1.0, gamma=0.5, tol=1e-3):
+    signs = np.where(np.asarray(y) == 1, 1.0, -1.0)
+    kernel = rbf_kernel(x, x, gamma=gamma)
+    alphas, bias, _iters = _smo(kernel, signs, c, tol, max_passes=300)
+    return alphas, bias, signs, kernel
+
+
+class TestDualFeasibility:
+    @settings(deadline=None, max_examples=10)
+    @given(seed=st.integers(0, 500), c=st.sampled_from([0.5, 1.0, 4.0]))
+    def test_box_constraints_and_equality(self, seed, c):
+        rng = np.random.default_rng(seed)
+        x, y = _blobs(rng)
+        alphas, _bias, signs, _kernel = _solve(x, y, c=c)
+        assert np.all(alphas >= -1e-9)
+        assert np.all(alphas <= c + 1e-9)
+        # Equality constraint of the dual: sum_i alpha_i y_i = 0.
+        assert abs(float(alphas @ signs)) < 1e-6
+
+    def test_kkt_conditions_hold_within_tolerance(self):
+        rng = np.random.default_rng(3)
+        x, y = _blobs(rng, n=120, separation=2.5)
+        c, tol = 1.0, 1e-3
+        alphas, bias, signs, kernel = _solve(x, y, c=c, tol=tol)
+        margins = signs * ((alphas * signs) @ kernel + bias)
+        slack = 5 * tol  # SMO terminates within tol of each condition
+        for i in range(len(signs)):
+            if alphas[i] < 1e-9:  # alpha = 0  =>  y f(x) >= 1
+                assert margins[i] >= 1 - slack
+            elif alphas[i] > c - 1e-9:  # alpha = C  =>  y f(x) <= 1
+                assert margins[i] <= 1 + slack
+            else:  # unbound support vector => y f(x) ~ 1
+                assert margins[i] == pytest.approx(1.0, abs=slack)
+
+    def test_dual_objective_beats_zero(self):
+        """The solver must improve on the trivial alphas = 0 point."""
+        rng = np.random.default_rng(9)
+        x, y = _blobs(rng)
+        alphas, _bias, signs, kernel = _solve(x, y)
+        coef = alphas * signs
+        objective = alphas.sum() - 0.5 * float(coef @ kernel @ coef)
+        assert objective > 0.0
+
+    def test_support_vector_consistency_with_public_api(self):
+        rng = np.random.default_rng(12)
+        x, y = _blobs(rng)
+        model = SVC(c=1.0, gamma=0.5).fit(x, y)
+        alphas, _bias, _signs, _kernel = _solve(x, y, c=1.0, gamma=0.5)
+        assert model.n_support_ == int(np.sum(alphas > 1e-12))

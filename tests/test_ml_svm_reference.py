@@ -1,0 +1,95 @@
+"""Cross-validation of the SMO solver against a scipy QP reference.
+
+The C-SVC dual is a box-constrained QP with one equality constraint:
+
+    max  sum(a) - 0.5 * (a*y)' K (a*y)
+    s.t. 0 <= a_i <= C,  sum(a_i y_i) = 0
+
+``scipy.optimize.minimize`` (SLSQP) solves small instances exactly
+enough to check that SMO reaches the same optimum — a much stronger
+guarantee than prediction-accuracy tests.
+"""
+
+import numpy as np
+import pytest
+from scipy import optimize
+
+from repro.ml.kernels import rbf_kernel
+from repro.ml.svm import _smo
+
+
+def _dual_objective(alphas, signs, kernel):
+    coef = alphas * signs
+    return float(alphas.sum() - 0.5 * coef @ kernel @ coef)
+
+
+def _solve_reference(kernel, signs, c):
+    n = len(signs)
+
+    def negative_objective(a):
+        return -_dual_objective(a, signs, kernel)
+
+    def gradient(a):
+        return -(np.ones(n) - (kernel * np.outer(signs, signs)) @ a)
+
+    result = optimize.minimize(
+        negative_objective,
+        x0=np.full(n, c / 2),
+        jac=gradient,
+        bounds=[(0.0, c)] * n,
+        constraints=[{"type": "eq", "fun": lambda a: a @ signs}],
+        method="SLSQP",
+        options={"maxiter": 500, "ftol": 1e-10},
+    )
+    assert result.success, result.message
+    return result.x
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("c", [0.5, 1.0])
+def test_smo_matches_qp_optimum(seed, c):
+    rng = np.random.default_rng(seed)
+    n, d = 30, 2
+    x = np.vstack(
+        [rng.normal(0, 1, (n // 2, d)), rng.normal(1.5, 1, (n // 2, d))]
+    )
+    signs = np.array([-1.0] * (n // 2) + [1.0] * (n // 2))
+    kernel = rbf_kernel(x, x, gamma=0.8)
+
+    smo_alphas, _bias, _iters = _smo(kernel, signs, c, tol=1e-4, max_passes=500)
+    reference_alphas = _solve_reference(kernel, signs, c)
+
+    smo_value = _dual_objective(smo_alphas, signs, kernel)
+    reference_value = _dual_objective(reference_alphas, signs, kernel)
+    # The dual is concave: neither solver can exceed the optimum, and
+    # SMO must come within a small gap of the reference.
+    assert smo_value <= reference_value + 1e-4
+    assert smo_value >= reference_value - max(0.02 * abs(reference_value), 0.05)
+
+
+def test_smo_predictions_match_reference_predictions():
+    rng = np.random.default_rng(5)
+    n, d, c = 40, 3, 1.0
+    x = np.vstack(
+        [rng.normal(0, 1, (n // 2, d)), rng.normal(2.0, 1, (n // 2, d))]
+    )
+    signs = np.array([-1.0] * (n // 2) + [1.0] * (n // 2))
+    kernel = rbf_kernel(x, x, gamma=0.5)
+
+    smo_alphas, smo_bias, _ = _smo(kernel, signs, c, tol=1e-4, max_passes=500)
+    reference_alphas = _solve_reference(kernel, signs, c)
+    # Recover the reference bias from an unbound support vector.
+    unbound = np.flatnonzero(
+        (reference_alphas > 1e-4) & (reference_alphas < c - 1e-4)
+    )
+    i = int(unbound[0])
+    reference_bias = signs[i] - float(
+        (reference_alphas * signs) @ kernel[:, i]
+    )
+
+    smo_decisions = (smo_alphas * signs) @ kernel + smo_bias
+    reference_decisions = (reference_alphas * signs) @ kernel + reference_bias
+    agreement = np.mean(
+        np.sign(smo_decisions) == np.sign(reference_decisions)
+    )
+    assert agreement >= 0.95

@@ -1,0 +1,43 @@
+"""Tests for the piggybacking operation and its downstream signature."""
+
+import numpy as np
+import pytest
+
+from repro.mypagekeeper.classifier import UrlClassifier
+from repro.mypagekeeper.monitor import MyPageKeeper
+
+
+class TestPiggybackInWorld:
+    def test_targets_are_popular_benign_apps(self, world):
+        targets = world.piggybacked_ids()
+        assert targets
+        for app_id in targets:
+            assert not world.registry.get(app_id).truth_malicious
+
+    def test_forged_volume_is_a_minority(self, world):
+        log = world.post_log
+        for app_id in world.piggybacked_ids():
+            posts = log.posts_of_app(app_id)
+            forged = sum(1 for p in posts if p.truth_piggybacked)
+            assert 0 < forged < 0.35 * len(posts)
+
+    def test_forged_posts_carry_lure_links(self, world):
+        for post in world.post_log:
+            if post.truth_piggybacked:
+                assert post.truth_malicious
+                assert post.link is not None
+
+    def test_monitor_sees_low_malicious_ratio(self, pipeline_result):
+        """Fig 16: piggybacked apps have ratio < 0.2 yet > 0."""
+        report = pipeline_result.monitor_report
+        low_ratio = 0
+        for app_id in pipeline_result.world.piggybacked_ids():
+            ratio = report.malicious_post_ratio(app_id)
+            if 0 < ratio < 0.35:
+                low_ratio += 1
+        assert low_ratio >= 0.6 * len(pipeline_result.world.piggybacked_ids())
+
+    def test_whitelist_keeps_targets_out_of_training(self, pipeline_result):
+        bundle = pipeline_result.bundle
+        targets = pipeline_result.world.piggybacked_ids()
+        assert not (targets & bundle.d_sample_malicious)

@@ -1,0 +1,113 @@
+"""Tests for applications, the registry, and permissions."""
+
+import numpy as np
+import pytest
+
+from repro.platform.apps import AppRegistry, FacebookApp
+from repro.platform.permissions import (
+    PERMISSION_POOL,
+    PUBLISH_STREAM,
+    validate_permissions,
+)
+
+
+class TestPermissions:
+    def test_pool_has_64_unique_permissions(self):
+        assert len(PERMISSION_POOL) == 64
+        assert len(set(PERMISSION_POOL)) == 64
+
+    def test_validate_deduplicates_preserving_order(self):
+        result = validate_permissions(
+            [PUBLISH_STREAM, "email", PUBLISH_STREAM]
+        )
+        assert result == (PUBLISH_STREAM, "email")
+
+    def test_unknown_permission_rejected(self):
+        with pytest.raises(ValueError):
+            validate_permissions(["not_a_permission"])
+
+    def test_empty_request_rejected(self):
+        with pytest.raises(ValueError):
+            validate_permissions([])
+
+
+class TestFacebookApp:
+    def _app(self, **kwargs):
+        defaults = dict(app_id="1", name="X", developer_id="d")
+        defaults.update(kwargs)
+        return FacebookApp(**defaults)
+
+    def test_summary_flags(self):
+        app = self._app(description="d", company="", category="Games")
+        assert app.has_description and not app.has_company and app.has_category
+
+    def test_invalid_permission_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            self._app(permissions=("bogus",))
+
+    def test_mau_statistics(self):
+        app = self._app(mau_series=(10, 50, 20))
+        assert app.median_mau == 20
+        assert app.max_mau == 50
+
+    def test_mau_defaults(self):
+        app = self._app()
+        assert app.median_mau == 0
+        assert app.max_mau == 0
+
+    def test_deletion_semantics(self):
+        app = self._app()
+        assert not app.is_deleted()
+        app.deleted_day = 100
+        assert not app.is_deleted(99)
+        assert app.is_deleted(100)
+        assert app.is_deleted()  # day=None means "ever deleted"
+
+    def test_platform_urls_embed_the_id(self):
+        app = self._app(app_id="12345")
+        assert "12345" in app.graph_url
+        assert app.install_url.endswith("id=12345")
+
+
+class TestAppRegistry:
+    def test_create_mints_unique_numeric_ids(self):
+        registry = AppRegistry(np.random.default_rng(0))
+        ids = {registry.create(name=f"A{i}", developer_id="d").app_id
+               for i in range(200)}
+        assert len(ids) == 200
+        assert all(len(i) == 15 and i.isdigit() for i in ids)
+
+    def test_double_registration_rejected(self):
+        registry = AppRegistry(np.random.default_rng(0))
+        app = registry.create(name="A", developer_id="d")
+        with pytest.raises(ValueError):
+            registry.register(app)
+
+    def test_lookup(self):
+        registry = AppRegistry(np.random.default_rng(0))
+        app = registry.create(name="A", developer_id="d")
+        assert registry.get(app.app_id) is app
+        assert registry.maybe_get("nope") is None
+        assert app.app_id in registry
+
+    def test_alive_respects_deletion_day(self):
+        registry = AppRegistry(np.random.default_rng(0))
+        alive = registry.create(name="A", developer_id="d")
+        dead = registry.create(name="B", developer_id="d")
+        dead.deleted_day = 10
+        assert {a.app_id for a in registry.alive(day=20)} == {alive.app_id}
+        assert len(registry.alive(day=5)) == 2
+
+    def test_truth_partitions(self):
+        registry = AppRegistry(np.random.default_rng(0))
+        registry.create(name="good", developer_id="d")
+        registry.create(name="bad", developer_id="h", truth_malicious=True)
+        assert len(registry.malicious()) == 1
+        assert len(registry.benign()) == 1
+
+    def test_by_name(self):
+        registry = AppRegistry(np.random.default_rng(0))
+        registry.create(name="The App", developer_id="h")
+        registry.create(name="The App", developer_id="h")
+        registry.create(name="Other", developer_id="d")
+        assert len(registry.by_name("The App")) == 2

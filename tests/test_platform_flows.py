@@ -1,0 +1,199 @@
+"""Tests for OAuth, the install flow, the Graph API, and moderation."""
+
+import numpy as np
+import pytest
+
+from repro.platform.apps import AppRegistry
+from repro.platform.graph_api import GraphApi, GraphApiError
+from repro.platform.install import AppRemovedError, InstallationService
+from repro.platform.moderation import ModerationEngine, hazard_for_survival
+from repro.platform.oauth import TokenService
+from repro.platform.posts import PostLog
+from repro.platform.users import UserBase
+
+
+@pytest.fixture()
+def platform(rng):
+    registry = AppRegistry(rng)
+    tokens = TokenService()
+    users = UserBase(100, rng)
+    log = PostLog()
+    installer = InstallationService(registry, tokens, users, rng)
+    graph = GraphApi(registry, log)
+    return registry, tokens, users, log, installer, graph
+
+
+class TestOAuth:
+    def test_issue_and_validate(self, platform):
+        _, tokens, *_ = platform
+        token = tokens.issue(user_id=1, app_id="a", scopes=("publish_stream",))
+        assert tokens.validate(token.token) is token
+        assert token.allows("publish_stream")
+        assert not token.allows("email")
+
+    def test_revocation(self, platform):
+        _, tokens, *_ = platform
+        token = tokens.issue(1, "a", ("publish_stream",))
+        tokens.revoke(token.token)
+        assert tokens.validate(token.token) is None
+
+    def test_revoke_app_revokes_every_user_token(self, platform):
+        _, tokens, *_ = platform
+        for user in range(5):
+            tokens.issue(user, "a", ("publish_stream",))
+        tokens.issue(9, "b", ("publish_stream",))
+        assert tokens.revoke_app("a") == 5
+        assert len(tokens.tokens_of_app("a")) == 0
+        assert len(tokens.tokens_of_app("b")) == 1
+
+
+class TestInstallFlow:
+    def test_honest_app_prompt(self, platform):
+        registry, _, _, _, installer, _ = platform
+        app = registry.create(name="A", developer_id="d")
+        prompt = installer.visit_install_url(app.app_id)
+        assert prompt.client_id == app.app_id
+        assert not prompt.client_id_mismatch
+        assert prompt.permissions == app.permissions
+
+    def test_client_id_rotation(self, platform):
+        registry, _, _, _, installer, _ = platform
+        sibling = registry.create(name="S", developer_id="h")
+        app = registry.create(
+            name="A", developer_id="h", client_id_pool=(sibling.app_id,)
+        )
+        prompt = installer.visit_install_url(app.app_id)
+        assert prompt.client_id == sibling.app_id
+        assert prompt.client_id_mismatch
+
+    def test_rotation_skips_deleted_siblings(self, platform):
+        registry, _, _, _, installer, _ = platform
+        sibling = registry.create(name="S", developer_id="h")
+        sibling.deleted_day = 0
+        app = registry.create(
+            name="A", developer_id="h", client_id_pool=(sibling.app_id,)
+        )
+        prompt = installer.visit_install_url(app.app_id, day=5)
+        assert prompt.client_id == app.app_id  # falls back to itself
+
+    def test_removed_app_visit_fails(self, platform):
+        registry, _, _, _, installer, _ = platform
+        app = registry.create(name="A", developer_id="d")
+        app.deleted_day = 10
+        with pytest.raises(AppRemovedError):
+            installer.visit_install_url(app.app_id, day=20)
+
+    def test_accept_installs_the_client_app(self, platform):
+        registry, tokens, users, _, installer, _ = platform
+        sibling = registry.create(name="S", developer_id="h")
+        app = registry.create(
+            name="A", developer_id="h", client_id_pool=(sibling.app_id,)
+        )
+        prompt = installer.visit_install_url(app.app_id)
+        token = installer.accept(prompt, user_id=3, day=1)
+        assert users.has_installed(3, sibling.app_id)
+        assert not users.has_installed(3, app.app_id)
+        assert token.app_id == sibling.app_id
+        assert installer.install_count(sibling.app_id) == 1
+
+
+class TestGraphApi:
+    def test_summary_fields(self, platform):
+        registry, _, _, _, _, graph = platform
+        app = registry.create(
+            name="A", developer_id="d", description="desc",
+            company="Co", category="Games", mau_series=(5, 10, 20),
+        )
+        summary = graph.summary(app.app_id)
+        assert summary["name"] == "A"
+        assert summary["monthly_active_users"] == 20  # latest month
+
+    def test_summary_mau_indexed_by_crawl_day(self, platform):
+        registry, _, _, _, _, graph = platform
+        app = registry.create(name="A", developer_id="d", mau_series=(5, 10, 20))
+        epoch = GraphApi.CRAWL_EPOCH_DAY
+        assert graph.summary(app.app_id, day=epoch)["monthly_active_users"] == 5
+        assert graph.summary(app.app_id, day=epoch + 35)["monthly_active_users"] == 10
+        assert graph.summary(app.app_id, day=epoch + 900)["monthly_active_users"] == 20
+
+    def test_deleted_app_returns_error(self, platform):
+        registry, _, _, _, _, graph = platform
+        app = registry.create(name="A", developer_id="d")
+        app.deleted_day = 50
+        assert graph.exists(app.app_id, day=10)
+        with pytest.raises(GraphApiError):
+            graph.summary(app.app_id, day=60)
+
+    def test_unknown_app(self, platform):
+        *_, graph = platform
+        assert not graph.exists("0000")
+        with pytest.raises(GraphApiError):
+            graph.profile_feed("0000")
+
+    def test_prompt_feed_forges_attribution(self, platform):
+        registry, _, _, log, _, graph = platform
+        victim = registry.create(name="FarmVille", developer_id="zynga")
+        post = graph.prompt_feed(
+            api_key=victim.app_id,
+            user_id=7,
+            message="WOW free credits",
+            link="http://bit.ly/x",
+            day=3,
+            truth_malicious=True,
+            truth_piggybacked=True,
+        )
+        # The post is attributed to the victim with no authentication.
+        assert post.app_id == victim.app_id
+        assert post.app_name == "FarmVille"
+        assert post.truth_piggybacked
+        assert log.post_count(victim.app_id) == 1
+
+    def test_prompt_feed_unknown_api_key(self, platform):
+        *_, graph = platform
+        with pytest.raises(GraphApiError):
+            graph.prompt_feed("bogus", 0, "m", None, 0)
+
+
+class TestModeration:
+    def test_hazard_for_survival_math(self):
+        hazard = hazard_for_survival(0.5, 100)
+        assert (1 - hazard) ** 100 == pytest.approx(0.5)
+
+    def test_hazard_validation(self):
+        with pytest.raises(ValueError):
+            hazard_for_survival(0.0, 100)
+        with pytest.raises(ValueError):
+            hazard_for_survival(0.5, 0)
+
+    def _engine(self, rng, registry, malicious=0.05, benign=0.0):
+        return ModerationEngine(registry, None, rng, malicious, benign)
+
+    def test_step_day_deletes_only_malicious_under_zero_benign_hazard(self, rng):
+        registry = AppRegistry(rng)
+        for index in range(50):
+            registry.create(name=f"B{index}", developer_id="d")
+            registry.create(name=f"M{index}", developer_id="h", truth_malicious=True)
+        engine = self._engine(rng, registry, malicious=0.999, benign=0.0)
+        deleted = engine.run(1, 10)
+        assert deleted == 50
+        assert all(not a.is_deleted() for a in registry.benign())
+
+    def test_assign_deletion_days_matches_survival_target(self, rng):
+        registry = AppRegistry(rng)
+        for index in range(2000):
+            registry.create(name=f"M{index}", developer_id="h", truth_malicious=True)
+        hazard = hazard_for_survival(0.4, 300)
+        engine = self._engine(rng, registry, malicious=hazard, benign=0.0)
+        engine.assign_deletion_days(registry.all_apps(), horizon_days=10_000)
+        survivors = sum(1 for a in registry.all_apps() if not a.is_deleted(300))
+        assert 0.35 < survivors / 2000 < 0.45
+
+    def test_delete_app_revokes_tokens(self, rng):
+        registry = AppRegistry(rng)
+        tokens = TokenService()
+        app = registry.create(name="M", developer_id="h", truth_malicious=True)
+        tokens.issue(1, app.app_id, ("publish_stream",))
+        engine = ModerationEngine(registry, tokens, rng, 0.0, 0.0)
+        engine.delete_app(app, day=5)
+        assert app.is_deleted(5)
+        assert tokens.tokens_of_app(app.app_id) == []

@@ -1,0 +1,114 @@
+"""Tests for the post log, users, and the social graph."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.platform.posts import Post, PostLog
+from repro.platform.users import SocialGraph, UserBase
+
+
+class TestPostLog:
+    def _log_with(self, specs):
+        log = PostLog()
+        for app_id, link in specs:
+            log.new_post(day=0, user_id=0, app_id=app_id, link=link)
+        return log
+
+    def test_new_post_assigns_dense_ids(self):
+        log = PostLog()
+        posts = [log.new_post(day=0, user_id=0, app_id=None) for _ in range(3)]
+        assert [p.post_id for p in posts] == [0, 1, 2]
+
+    def test_non_dense_append_rejected(self):
+        log = PostLog()
+        with pytest.raises(ValueError):
+            log.append(Post(post_id=5, day=0, user_id=0, app_id=None))
+
+    def test_per_app_counters(self):
+        log = self._log_with(
+            [("a", None), ("a", "http://x.com/1"), ("b", None), (None, None)]
+        )
+        assert log.post_count("a") == 2
+        assert log.post_count("b") == 1
+        assert log.post_count("missing") == 0
+        assert log.link_count("a") == 1
+        assert len(log) == 4
+
+    def test_url_multiset(self):
+        log = self._log_with(
+            [("a", "http://x.com/1"), ("a", "http://x.com/1"), ("a", "http://y.com/2")]
+        )
+        urls = log.urls_of_app("a")
+        assert urls["http://x.com/1"] == 2
+        assert urls["http://y.com/2"] == 1
+
+    def test_app_name_from_metadata(self):
+        log = PostLog()
+        log.new_post(day=0, user_id=0, app_id="a", app_name="FarmVille")
+        log.new_post(day=1, user_id=0, app_id="a", app_name="Renamed Later")
+        assert log.app_name("a") == "FarmVille"  # first observation wins
+        assert log.app_name("unknown") is None
+
+    def test_posts_of_app(self):
+        log = self._log_with([("a", None), ("b", None), ("a", None)])
+        assert [p.post_id for p in log.posts_of_app("a")] == [0, 2]
+
+    @given(st.lists(st.sampled_from(["a", "b", None]), max_size=40))
+    def test_counts_match_iteration(self, app_ids):
+        log = PostLog()
+        for app_id in app_ids:
+            log.new_post(day=0, user_id=0, app_id=app_id)
+        for app in ("a", "b"):
+            assert log.post_count(app) == sum(1 for x in app_ids if x == app)
+
+
+class TestUserBase:
+    def test_bounds_checked(self):
+        users = UserBase(10, np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            users.record(10)
+
+    def test_subscription(self):
+        users = UserBase(100, np.random.default_rng(0))
+        users.subscribe_to_mpk([1, 5, 7])
+        assert users.subscribed_users() == [1, 5, 7]
+        assert users.is_subscribed(5)
+        assert not users.is_subscribed(2)
+
+    def test_installs(self):
+        users = UserBase(10, np.random.default_rng(0))
+        users.install_app(3, "app-1")
+        assert users.has_installed(3, "app-1")
+        assert not users.has_installed(3, "app-2")
+        assert not users.has_installed(4, "app-1")
+
+    def test_sample_users_distinct(self):
+        users = UserBase(50, np.random.default_rng(0))
+        sample = users.sample_users(30)
+        assert len(set(int(u) for u in sample)) == 30
+
+    def test_zero_users_rejected(self):
+        with pytest.raises(ValueError):
+            UserBase(0, np.random.default_rng(0))
+
+
+class TestSocialGraph:
+    def test_degrees_and_symmetry(self):
+        graph = SocialGraph(60, mean_friends=6, rng=np.random.default_rng(0))
+        for user in range(60):
+            for friend in graph.friends(user):
+                assert user in graph.friends(friend)
+
+    def test_edge_count_consistent(self):
+        graph = SocialGraph(40, mean_friends=4, rng=np.random.default_rng(1))
+        assert graph.edge_count() == sum(graph.degree(u) for u in range(40)) // 2
+
+    def test_mean_degree_near_target(self):
+        graph = SocialGraph(200, mean_friends=8, rng=np.random.default_rng(2))
+        mean = sum(graph.degree(u) for u in range(200)) / 200
+        assert 6 <= mean <= 9
+
+    def test_too_many_friends_rejected(self):
+        with pytest.raises(ValueError):
+            SocialGraph(5, mean_friends=5, rng=np.random.default_rng(0))

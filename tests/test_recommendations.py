@@ -1,0 +1,168 @@
+"""Tests for the Sec 7 countermeasure policies."""
+
+import numpy as np
+import pytest
+
+from repro.collusion.appnets import CollusionAnalyzer
+from repro.core.recommendations import (
+    PromotionBlocker,
+    PromptFeedAuthenticator,
+    simulate_policy_rollout,
+)
+from repro.platform.apps import AppRegistry
+from repro.platform.graph_api import GraphApi
+from repro.platform.oauth import TokenService
+from repro.platform.posts import Post, PostLog
+from repro.urlinfra.redirector import IndirectionSite, RedirectorNetwork
+from repro.urlinfra.shortener import Shortener
+
+
+def _post(post_id, app_id, link):
+    return Post(post_id=post_id, day=0, user_id=0, app_id=app_id, link=link)
+
+
+class TestPromotionBlocker:
+    @pytest.fixture()
+    def blocker(self, rng):
+        shortener = Shortener(rng)
+        redirector = RedirectorNetwork(rng)
+        redirector.register(
+            IndirectionSite(url="http://go.spam.com/r/1", target_app_ids=["t"])
+        )
+        return blocker_tuple(shortener, redirector)
+
+    def test_direct_promotion_blocked(self, blocker):
+        policy, _shortener = blocker
+        post = _post(0, "promoter", (
+            "https://www.facebook.com/apps/application.php?id=victim"
+        ))
+        assert policy.verdict(post) is not None
+
+    def test_self_promotion_allowed(self, blocker):
+        policy, _shortener = blocker
+        post = _post(0, "app-1", (
+            "https://www.facebook.com/apps/application.php?id=app-1"
+        ))
+        assert policy.verdict(post) is None
+
+    def test_shortened_promotion_expanded_and_blocked(self, blocker):
+        policy, shortener = blocker
+        short = shortener.shorten(
+            "https://www.facebook.com/apps/application.php?id=victim"
+        )
+        assert policy.verdict(_post(0, "promoter", short)) is not None
+
+    def test_indirection_site_blocked(self, blocker):
+        policy, shortener = blocker
+        short = shortener.shorten("http://go.spam.com/r/1")
+        assert policy.verdict(_post(0, "promoter", short)) is not None
+        assert policy.verdict(_post(1, "promoter", "http://go.spam.com/r/1"))
+
+    def test_ordinary_links_allowed(self, blocker):
+        policy, _shortener = blocker
+        assert policy.verdict(_post(0, "app", "http://example.com/x")) is None
+        assert policy.verdict(_post(1, "app", None)) is None
+        assert policy.verdict(_post(2, None, "http://example.com")) is None
+
+    def test_screen_counts(self, blocker):
+        policy, _shortener = blocker
+        posts = [
+            _post(0, "a", "https://www.facebook.com/apps/application.php?id=b"),
+            _post(1, "a", None),
+        ]
+        report = policy.screen(posts)
+        assert report.posts_seen == 2
+        assert report.posts_blocked == 1
+        assert report.blocked_fraction == 0.5
+
+    def test_rollout_dismantles_appnets(self, world):
+        """With policy (a), the rediscovered collusion graph is empty."""
+        report = simulate_policy_rollout(world)
+        assert report.posts_blocked > 0
+        blocked = set(report.blocked)
+        # Rebuild the collusion graph over surviving posts only.
+        survivors = PostLog()
+        for post in world.post_log:
+            if post.post_id in blocked:
+                continue
+            survivors.new_post(
+                day=post.day, user_id=post.user_id, app_id=post.app_id,
+                app_name=post.app_name, message=post.message, link=post.link,
+            )
+
+        class _PolicyWorld:
+            post_log = survivors
+            services = world.services
+            registry = world.registry
+
+        collusion = CollusionAnalyzer(_PolicyWorld()).discover()
+        assert len(collusion.graph) == 0
+
+
+def blocker_tuple(shortener, redirector):
+    policy = PromotionBlocker({"bit.ly": shortener}, redirector)
+    return policy, shortener
+
+
+class TestPromptFeedAuthenticator:
+    @pytest.fixture()
+    def stack(self, rng):
+        registry = AppRegistry(rng)
+        victim = registry.create(name="FarmVille", developer_id="zynga")
+        attacker_app = registry.create(
+            name="Scam", developer_id="hacker", truth_malicious=True
+        )
+        tokens = TokenService()
+        log = PostLog()
+        graph = GraphApi(registry, log)
+        auth = PromptFeedAuthenticator(graph, tokens)
+        return victim, attacker_app, tokens, auth, log
+
+    def test_legitimate_post_goes_through(self, stack):
+        victim, _attacker, tokens, auth, log = stack
+        token = tokens.issue(1, victim.app_id, ("publish_stream",))
+        post = auth.prompt_feed(
+            api_key=victim.app_id, bearer_token=token.token,
+            user_id=1, message="harvest time!", link=None, day=0,
+        )
+        assert post.app_id == victim.app_id
+        assert len(log) == 1
+
+    def test_forged_attribution_rejected(self, stack):
+        victim, attacker_app, tokens, auth, log = stack
+        # The attacker only holds a token for their OWN app.
+        token = tokens.issue(2, attacker_app.app_id, ("publish_stream",))
+        with pytest.raises(PermissionError):
+            auth.prompt_feed(
+                api_key=victim.app_id, bearer_token=token.token,
+                user_id=2, message="WOW free credits", link=None, day=0,
+            )
+        assert auth.rejected == 1
+        assert len(log) == 0
+
+    def test_invalid_token_rejected(self, stack):
+        victim, _attacker, _tokens, auth, _log = stack
+        with pytest.raises(PermissionError):
+            auth.prompt_feed(
+                api_key=victim.app_id, bearer_token="garbage",
+                user_id=2, message="spam", link=None, day=0,
+            )
+
+    def test_token_without_posting_scope_rejected(self, stack):
+        victim, _attacker, tokens, auth, _log = stack
+        token = tokens.issue(1, victim.app_id, ("email",))
+        with pytest.raises(PermissionError):
+            auth.prompt_feed(
+                api_key=victim.app_id, bearer_token=token.token,
+                user_id=1, message="hello", link=None, day=0,
+            )
+
+    def test_revoked_token_rejected(self, stack):
+        victim, _attacker, tokens, auth, _log = stack
+        token = tokens.issue(1, victim.app_id, ("publish_stream",))
+        tokens.revoke(token.token)
+        with pytest.raises(PermissionError):
+            auth.prompt_feed(
+                api_key=victim.app_id, bearer_token=token.token,
+                user_id=1, message="hello", link=None, day=0,
+            )

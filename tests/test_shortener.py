@@ -1,0 +1,81 @@
+"""Tests for the bit.ly-style shortener."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.urlinfra.shortener import Shortener
+
+
+@pytest.fixture()
+def shortener(rng):
+    return Shortener(rng)
+
+
+def test_shorten_expand_roundtrip(shortener):
+    short = shortener.shorten("http://example.com/page")
+    assert short.startswith("http://bit.ly/")
+    assert shortener.expand(short) == "http://example.com/page"
+
+
+def test_shorten_reuses_code_for_same_url(shortener):
+    a = shortener.shorten("http://example.com/x")
+    b = shortener.shorten("http://example.com/x")
+    assert a == b
+    assert len(shortener) == 1
+
+
+def test_shorten_without_reuse_mints_fresh_codes(shortener):
+    a = shortener.shorten("http://example.com/x")
+    b = shortener.shorten("http://example.com/x", reuse=False)
+    assert a != b
+    assert shortener.expand(a) == shortener.expand(b)
+
+
+def test_click_accounting(shortener):
+    short = shortener.shorten("http://example.com/x")
+    shortener.record_click(short, 10, from_facebook=True)
+    shortener.record_click(short, 3, from_facebook=False)
+    assert shortener.clicks(short) == 13
+    link = shortener.link(short)
+    assert link.clicks_facebook == 10
+    assert link.clicks_external == 3
+
+
+def test_unresolvable_links_fail_expand_but_keep_clicks(shortener):
+    short = shortener.shorten("http://example.com/x")
+    shortener.record_click(short, 5)
+    shortener.make_unresolvable(short)
+    assert shortener.expand(short) is None
+    assert shortener.clicks(short) == 5
+
+
+def test_owns_and_unknown_urls(shortener):
+    short = shortener.shorten("http://example.com/x")
+    assert shortener.owns(short)
+    assert shortener.owns(short.replace("http://", "https://"))
+    assert not shortener.owns("http://bit.ly/doesnotexist")
+    assert not shortener.owns("http://example.com/x")
+    with pytest.raises(KeyError):
+        shortener.clicks("http://bit.ly/doesnotexist")
+
+
+def test_custom_domain(rng):
+    jmp = Shortener(rng, domain="j.mp")
+    short = jmp.shorten("http://example.com")
+    assert short.startswith("http://j.mp/")
+
+
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=20))
+def test_total_clicks_is_sum(counts):
+    shortener = Shortener(np.random.default_rng(0))
+    short = shortener.shorten("http://example.com/x")
+    for count in counts:
+        shortener.record_click(short, count)
+    assert shortener.clicks(short) == sum(counts)
+
+
+def test_many_links_have_distinct_codes(rng):
+    shortener = Shortener(rng)
+    shorts = {shortener.shorten(f"http://example.com/{i}") for i in range(500)}
+    assert len(shorts) == 500

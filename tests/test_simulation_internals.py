@@ -1,0 +1,49 @@
+"""Tests for driver internals: budget allocation and the schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ecosystem.simulation import CrawlSchedule, _allocate
+
+
+class TestAllocate:
+    @settings(deadline=None)
+    @given(
+        n_apps=st.integers(1, 60),
+        budget=st.integers(0, 5000),
+        seed=st.integers(0, 100),
+    )
+    def test_every_app_gets_at_least_one_post(self, n_apps, budget, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.pareto(1.3, size=n_apps) + 1.0
+        counts = _allocate(rng, weights, budget)
+        assert len(counts) == n_apps
+        assert counts.min() >= 1
+        # The floor can only add, never remove, posts.
+        assert counts.sum() >= max(budget, n_apps)
+
+    def test_empty_weights(self, rng):
+        assert len(_allocate(rng, np.zeros(0), 100)) == 0
+
+    def test_allocation_tracks_weights(self, rng):
+        weights = np.array([100.0, 1.0])
+        counts = _allocate(rng, weights, 10_000)
+        assert counts[0] > counts[1] * 10
+
+
+class TestCrawlSchedule:
+    def test_default_chronology(self):
+        schedule = CrawlSchedule()
+        assert (
+            schedule.horizon_days
+            < schedule.profilefeed_crawl_day
+            < schedule.summary_crawl_day
+            < schedule.inst_crawl_day
+            < schedule.validation_day
+        )
+
+    def test_schedule_is_frozen(self):
+        schedule = CrawlSchedule()
+        with pytest.raises(AttributeError):
+            schedule.horizon_days = 1

@@ -1,0 +1,132 @@
+"""Invariant tests over the fully built simulated world."""
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleConfig
+from repro.ecosystem.simulation import run_simulation
+from repro.urlinfra.url import is_facebook_url
+
+
+class TestWorldInvariants:
+    def test_every_app_posts_at_least_once(self, world):
+        log = world.post_log
+        for app in world.registry.all_apps():
+            assert log.post_count(app.app_id) >= 1
+
+    def test_malicious_fraction_near_13_percent(self, world):
+        registry = world.registry
+        fraction = len(registry.malicious()) / len(registry)
+        assert 0.10 <= fraction <= 0.16
+
+    def test_appless_post_fraction(self, world):
+        log = world.post_log
+        appless = sum(1 for p in log if p.app_id is None)
+        assert abs(appless / len(log) - 0.37) < 0.03
+
+    def test_post_days_within_horizon(self, world):
+        horizon = world.schedule.horizon_days
+        assert all(0 <= p.day < horizon for p in world.post_log)
+
+    def test_truth_labels_consistent_with_registry(self, world):
+        truth = world.truth_malicious_ids()
+        for post in world.post_log:
+            if post.app_id is None:
+                continue
+            app = world.registry.get(post.app_id)
+            if post.truth_malicious and not post.truth_piggybacked:
+                # non-forged malicious posts come from malicious apps
+                # or from app-less manual shares (app_id None, skipped)
+                assert app.truth_malicious or app.app_id in world.piggybacked_ids()
+
+    def test_piggybacked_posts_attributed_to_benign_apps(self, world):
+        for post in world.post_log:
+            if post.truth_piggybacked:
+                app = world.registry.get(post.app_id)
+                assert not app.truth_malicious
+
+    def test_loud_apps_are_malicious(self, world):
+        truth = world.truth_malicious_ids()
+        assert world.loud_app_ids() <= truth
+
+    def test_colluding_subset_of_malicious(self, world):
+        assert world.colluding_truth_ids() <= world.truth_malicious_ids()
+
+    def test_indirection_sites_registered_and_targeted(self, world):
+        truth = world.truth_malicious_ids()
+        sites = world.services.redirector.sites()
+        assert sites
+        for site in sites:
+            assert site.target_app_ids
+            assert set(site.target_app_ids) <= truth
+
+    def test_moderation_removed_more_malicious_than_benign(self, world):
+        day = world.schedule.summary_crawl_day
+        malicious = world.registry.malicious()
+        benign = world.registry.benign()
+        malicious_alive = np.mean([not a.is_deleted(day) for a in malicious])
+        benign_alive = np.mean([not a.is_deleted(day) for a in benign])
+        assert benign_alive > 0.9
+        assert 0.25 < malicious_alive < 0.6
+        assert benign_alive > malicious_alive
+
+    def test_short_links_accumulated_clicks(self, world):
+        links = [
+            link
+            for shortener in world.services.shorteners.values()
+            for link in shortener.all_links()
+        ]
+        assert links
+        assert all(link.total_clicks >= 1 for link in links)
+        unresolvable = np.mean([not link.resolvable for link in links])
+        assert 0.02 < unresolvable < 0.2
+
+    def test_mau_series_cover_crawl_months(self, world):
+        months = world.schedule.crawl_months
+        for app in world.registry.all_apps():
+            assert len(app.mau_series) == months
+
+    def test_socialbakers_vets_only_benign(self, world):
+        vetted = world.socialbakers.vetted_app_ids()
+        assert vetted
+        assert vetted <= {a.app_id for a in world.registry.benign()}
+
+    def test_spam_domain_pool_seeded(self, world):
+        pool = world.services.spam_domain_pool
+        assert len(pool) >= 2
+        weights = world.services.spam_domain_weights
+        assert weights is not None
+        assert np.isclose(weights.sum(), 1.0)
+
+    def test_benign_links_rarely_external(self, world):
+        log = world.post_log
+        external = internal = 0
+        for app in world.registry.benign()[:100]:
+            for url, count in log.urls_of_app(app.app_id).items():
+                if is_facebook_url(url):
+                    internal += count
+                else:
+                    external += count
+        assert internal > external
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        config = ScaleConfig(scale=0.01, master_seed=99)
+        world_a = run_simulation(config)
+        world_b = run_simulation(ScaleConfig(scale=0.01, master_seed=99))
+        assert len(world_a.post_log) == len(world_b.post_log)
+        ids_a = sorted(a.app_id for a in world_a.registry.all_apps())
+        ids_b = sorted(a.app_id for a in world_b.registry.all_apps())
+        assert ids_a == ids_b
+        post_a = world_a.post_log.get(100)
+        post_b = world_b.post_log.get(100)
+        assert post_a.message == post_b.message
+        assert post_a.link == post_b.link
+
+    def test_different_seed_different_world(self):
+        world_a = run_simulation(ScaleConfig(scale=0.01, master_seed=1))
+        world_b = run_simulation(ScaleConfig(scale=0.01, master_seed=2))
+        ids_a = sorted(a.app_id for a in world_a.registry.all_apps())
+        ids_b = sorted(a.app_id for a in world_b.registry.all_apps())
+        assert ids_a != ids_b
