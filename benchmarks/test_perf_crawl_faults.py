@@ -1,0 +1,93 @@
+"""Chaos benchmark: what a fault rate costs the study (time and quality).
+
+Sweeps the per-request fault rate 0% -> 30% and, for each, runs the full
+measurement chain through the fault-injecting transport, printing
+
+* the injected-fault mix and total request count,
+* the recovery rate (transiently faulted collections that still reached
+  a definitive result),
+* retry effort (mean attempts per collection) and the simulated crawl
+  clock (service + backoff waiting) in hours,
+* FRAppE accuracy on D-Sample under the degradation cascade.
+
+Run with ``pytest benchmarks/test_perf_crawl_faults.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crawler.crawler import outcome_tallies, recovery_rate
+from repro.experiments import common
+
+#: Chaos runs need a fresh crawl per rate; keep the sweep affordable.
+FAULT_SCALE = 0.04
+FAULT_SEED = 2012
+RATES = (0.0, 0.1, 0.2, 0.3)
+
+_accuracies: dict[float, float] = {}
+
+
+def _accuracy(result) -> float:
+    records, labels = result.sample_records()
+    model = result.cascade or result.classifier
+    return float(np.mean(model.predict(records) == np.asarray(labels)))
+
+
+def _report(rate: float, result) -> str:
+    stats = result.transport_stats
+    records = result.bundle.records
+    recovery = recovery_rate(records)
+    tallies = outcome_tallies(records)
+    attempts = [
+        outcome.attempts
+        for record in records.values()
+        for outcome in record.outcomes.values()
+        if outcome.attempts > 0
+    ]
+    lines = [
+        f"fault rate        {rate:.0%}",
+        f"requests          {stats.requests}",
+        f"injected faults   {stats.fault_count()} "
+        + str(dict(sorted(stats.injected.items()))),
+        f"truncated feeds   {stats.truncated_feeds}",
+        f"vanished apps     {len(stats.vanished)}",
+        "recovery rate     "
+        + ("n/a (no faults)" if recovery is None else f"{recovery:.1%}"),
+        f"mean attempts     {np.mean(attempts):.2f}" if attempts else "",
+        f"simulated crawl   {stats.elapsed_s / 3600:.1f} h "
+        f"(waiting {stats.wait_s / 3600:.1f} h)",
+        f"D-Sample accuracy {_accuracy(result):.1%}",
+        "outcome tallies   "
+        + "; ".join(
+            f"{c}: {dict(sorted(t.items()))}" for c, t in tallies.items()
+        ),
+    ]
+    return "\n".join(line for line in lines if line)
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_perf_crawl_fault_sweep(benchmark, rate):
+    def run():
+        return common.get_result(
+            scale=FAULT_SCALE, seed=FAULT_SEED, sweep=False, fault_rate=rate
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(_report(rate, result))
+
+    _accuracies[rate] = _accuracy(result)
+    stats = result.transport_stats
+    if rate == 0.0:
+        assert stats.fault_count() == 0
+        assert result.cascade is None
+    else:
+        assert stats.fault_count() > 0
+        recovery = recovery_rate(result.bundle.records)
+        assert recovery is not None and recovery >= 0.95
+        # Quality holds as the network degrades: accuracy within one
+        # point of the fault-free study at every swept rate.
+        if 0.0 in _accuracies:
+            assert _accuracies[0.0] - _accuracies[rate] <= 0.01 + 1e-9

@@ -1,0 +1,85 @@
+"""Chaos crawl: the measurement study over a hostile network.
+
+The paper's nine-month crawl fought rate limits, server hiccups, hung
+redirect chains, and apps deleted mid-crawl.  This example replays the
+study twice over the *same* simulated world — once through a perfect
+network, once through a transport injecting a 20% per-request fault
+rate — and shows what the resilience layer buys: almost every
+transiently faulted collection recovers, the classifier's accuracy
+barely moves, and the price is paid in simulated crawl hours instead
+of lost data.
+
+Run:  python examples/chaos_crawl.py
+"""
+
+from repro.config import ScaleConfig
+from repro.core import FrappePipeline
+from repro.crawler.crawler import outcome_tallies, recovery_rate
+from repro.ecosystem.simulation import run_simulation
+
+SCALE = 0.02
+SEED = 2012
+FAULT_RATE = 0.2
+
+
+def run_study(fault_rate: float):
+    config = ScaleConfig(scale=SCALE, master_seed=SEED, fault_rate=fault_rate)
+    world = run_simulation(config)
+    return FrappePipeline(config).run_on_world(world, sweep_unlabelled=False)
+
+
+def accuracy(result) -> float:
+    records, labels = result.sample_records()
+    model = result.cascade or result.classifier
+    predictions = model.predict(records)
+    return sum(
+        int(p) == label for p, label in zip(predictions, labels)
+    ) / len(labels)
+
+
+def main() -> None:
+    print("Crawling through a perfect network (fault rate 0%) ...")
+    clean = run_study(0.0)
+    print(f"Crawling the same world at a {FAULT_RATE:.0%} fault rate ...\n")
+    chaos = run_study(FAULT_RATE)
+
+    stats = chaos.transport_stats
+    print(f"requests            {stats.requests}")
+    print(f"injected faults     {stats.fault_count()}")
+    for kind, count in sorted(stats.injected.items()):
+        print(f"    {kind:<15} {count}")
+    print(f"feeds truncated     {stats.truncated_feeds}")
+    print(f"apps vanished       {len(stats.vanished)} (deleted mid-crawl)")
+
+    records = chaos.bundle.records
+    rate = recovery_rate(records)
+    print(f"\nrecovery rate       {rate:.1%} of faulted collections "
+          "still reached a verdict")
+    tallies = outcome_tallies(records)
+    for collection, tally in tallies.items():
+        counts = ", ".join(f"{k}: {v}" for k, v in sorted(tally.items()))
+        print(f"    {collection:<8} {counts}")
+
+    print(f"\nsimulated crawl     {clean.transport_stats.elapsed_s / 3600:5.1f} h "
+          "fault-free")
+    print(f"                    {stats.elapsed_s / 3600:5.1f} h under chaos "
+          f"({stats.wait_s / 3600:.1f} h of backoff waiting)")
+
+    print(f"\nD-Sample accuracy   {accuracy(clean):.1%} fault-free")
+    print(f"                    {accuracy(chaos):.1%} under chaos "
+          "(degraded records fall back through the cascade)")
+
+    degraded = [r for r in records.values() if r.degraded]
+    print(f"\n{len(degraded)} record(s) ended with an uninformative gap "
+          "(crawler gave up):")
+    for record in degraded[:5]:
+        gaps = ", ".join(record.degraded_collections)
+        tier = chaos.cascade.tier_of(record)
+        print(f"    app {record.app_id}: lost [{gaps}] -> classified "
+              f"by the {tier!r} tier")
+    if not degraded:
+        print("    (none — every faulted collection recovered this run)")
+
+
+if __name__ == "__main__":
+    main()

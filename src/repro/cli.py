@@ -5,8 +5,13 @@ Commands
 ``simulate``     build a world and print its vital statistics
 ``experiments``  reproduce every paper table/figure (paper vs measured)
 ``evaluate``     run the watchdog over app IDs (or a random sample)
+``crawl``        crawl D-Sample under injected faults, report resilience
 ``forensics``    run the Sec 6 AppNet investigation
 ``export``       write the labelled D-Sample dataset to JSON
+
+``--fault-rate`` / ``--retry-budget`` apply to every command (all
+crawling runs through the configured transport); ``crawl`` also accepts
+them after the subcommand for convenience.
 """
 
 from __future__ import annotations
@@ -31,11 +36,34 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=2012, help="master RNG seed"
     )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="per-request probability of an injected transient crawl "
+             "fault (default 0: fault layer disabled)",
+    )
+    parser.add_argument(
+        "--retry-budget", type=int, default=4,
+        help="crawl attempts per request before giving up (default 4)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("simulate", help="build a world and summarise it")
     sub.add_parser("experiments", help="reproduce every table/figure")
     sub.add_parser("forensics", help="AppNet investigation (Sec 6)")
+
+    crawl = sub.add_parser(
+        "crawl", help="crawl D-Sample under faults, report resilience"
+    )
+    # SUPPRESS keeps the subcommand's flags from clobbering values
+    # already parsed from the global position when omitted here.
+    crawl.add_argument(
+        "--fault-rate", type=float, default=argparse.SUPPRESS,
+        help="override the global --fault-rate",
+    )
+    crawl.add_argument(
+        "--retry-budget", type=int, default=argparse.SUPPRESS,
+        help="override the global --retry-budget",
+    )
 
     evaluate = sub.add_parser("evaluate", help="watchdog over app IDs")
     evaluate.add_argument(
@@ -52,7 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _config(args: argparse.Namespace) -> ScaleConfig:
-    return ScaleConfig(scale=args.scale, master_seed=args.seed)
+    return ScaleConfig(
+        scale=args.scale,
+        master_seed=args.seed,
+        fault_rate=args.fault_rate,
+        retry_budget=args.retry_budget,
+    )
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -103,6 +136,50 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_crawl(args: argparse.Namespace) -> int:
+    """Crawl D-Sample through the configured transport; print outcomes."""
+    from repro.crawler.crawler import make_crawler
+    from repro.crawler.datasets import DatasetBuilder
+    from repro.ecosystem.simulation import run_simulation
+    from repro.mypagekeeper.classifier import UrlClassifier
+    from repro.mypagekeeper.monitor import MyPageKeeper
+
+    config = _config(args)
+    world = run_simulation(config)
+    report = MyPageKeeper(
+        UrlClassifier(world.services.blacklist), world.post_log
+    ).scan()
+    bundle = DatasetBuilder(world, report).build(crawl=False)
+    crawler = make_crawler(world)
+    records = crawler.crawl_many(bundle.d_sample)
+
+    stats = crawler.stats
+    print(f"crawled {len(records)} apps at fault_rate={config.fault_rate} "
+          f"(retry budget {config.retry_budget})")
+    print(f"requests:   {stats.requests} "
+          f"({stats.fault_count()} faults injected)")
+    if stats.injected:
+        mix = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(stats.injected.items())
+        )
+        print(f"faults:     {mix}")
+    if stats.truncated_feeds:
+        print(f"truncated:  {stats.truncated_feeds} feed pages")
+    if stats.vanished:
+        print(f"vanished:   {len(stats.vanished)} apps deleted mid-crawl")
+    for collection, tally in crawler.outcome_tallies(records).items():
+        counts = ", ".join(f"{s}={n}" for s, n in sorted(tally.items()))
+        print(f"{collection + ':':<12}{counts}")
+    recovery = crawler.recovery_rate(records)
+    if recovery is not None:
+        print(f"recovery:   {recovery:.1%} of transiently-faulted "
+              f"collections saved by retries")
+    print(f"crawl time: {stats.elapsed_s / 3600:.1f} simulated hours "
+          f"({stats.service_s / 3600:.1f}h service, "
+          f"{stats.wait_s / 3600:.1f}h waiting)")
+    return 0
+
+
 def _cmd_forensics(args: argparse.Namespace) -> int:
     from repro.collusion import CollusionAnalyzer
     from repro.ecosystem.simulation import run_simulation
@@ -136,6 +213,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "experiments": _cmd_experiments,
     "evaluate": _cmd_evaluate,
+    "crawl": _cmd_crawl,
     "forensics": _cmd_forensics,
     "export": _cmd_export,
 }

@@ -18,7 +18,7 @@ Two kinds of values live here.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["PaperStats", "PAPER", "ScaleConfig"]
 
@@ -196,10 +196,23 @@ class ScaleConfig:
     post_scale: float | None = None
     #: months of simulated observation (paper: 9)
     months: int = 9
+    #: per-request probability of an injected transient crawl fault
+    #: (0 = the fault layer is a strict no-op; see platform.transport)
+    fault_rate: float = 0.0
+    #: crawl attempts per request before the crawler gives up
+    retry_budget: int = 4
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1), got {self.fault_rate}"
+            )
+        if self.retry_budget < 1:
+            raise ValueError(
+                f"retry_budget must be >= 1, got {self.retry_budget}"
+            )
         if self.post_scale is None:
             # Posts outnumber apps ~800:1 in the paper; keep laptop runs
             # tractable by scaling posts quadratically with the knob

@@ -8,11 +8,20 @@ pipeline tying the whole measurement chain together.
 
 from repro.core.features import (
     AGGREGATION_FEATURES,
+    CONFIDENCE_BY_TIER,
     ON_DEMAND_FEATURES,
     ROBUST_FEATURES,
+    SUMMARY_ONLY_FEATURES,
     FeatureExtractor,
+    classification_tier,
 )
-from repro.core.frappe import FrappeClassifier, frappe, frappe_lite, frappe_robust
+from repro.core.frappe import (
+    FrappeCascade,
+    FrappeClassifier,
+    frappe,
+    frappe_lite,
+    frappe_robust,
+)
 from repro.core.validation import FlagValidator, ValidationResult
 from repro.core.pipeline import FrappePipeline, PipelineResult
 from repro.core.recommendations import (
@@ -26,8 +35,12 @@ __all__ = [
     "AGGREGATION_FEATURES",
     "ON_DEMAND_FEATURES",
     "ROBUST_FEATURES",
+    "SUMMARY_ONLY_FEATURES",
+    "CONFIDENCE_BY_TIER",
+    "classification_tier",
     "FeatureExtractor",
     "FrappeClassifier",
+    "FrappeCascade",
     "frappe",
     "frappe_lite",
     "frappe_robust",

@@ -33,6 +33,10 @@ __all__ = [
     "AGGREGATION_FEATURES",
     "ALL_FEATURES",
     "ROBUST_FEATURES",
+    "SUMMARY_ONLY_FEATURES",
+    "TIER_FEATURES",
+    "CONFIDENCE_BY_TIER",
+    "classification_tier",
     "FeatureExtractor",
 ]
 
@@ -64,6 +68,58 @@ ROBUST_FEATURES: tuple[str, ...] = (
     "name_matches_malicious",
     "external_link_ratio",
 )
+
+#: The last-resort feature set when only the summary crawl is usable.
+SUMMARY_ONLY_FEATURES: tuple[str, ...] = (
+    "has_category",
+    "has_company",
+    "has_description",
+)
+
+# -- degraded-crawl classification tiers -----------------------------------
+#
+# A crawl collection can be missing for two very different reasons:
+#
+# * *authoritatively* — the app is removed, or its install flow is
+#   human-only.  The paper treats this absence as a feature in itself
+#   (Sec 4.1: malicious apps are exactly the ones with empty summaries),
+#   so the default 0/-1 encodings stand and the full model applies;
+# * *transiently* — the crawler exhausted its retry budget.  The zeros
+#   would be lies, so classification falls back to a model trained on
+#   the features the surviving collections can vouch for:
+#   FRAppE -> FRAppE Lite -> summary-only -> none.
+
+#: classifier tier -> feature set it consumes ("none": no model applies)
+TIER_FEATURES: dict[str, tuple[str, ...]] = {
+    "frappe": ALL_FEATURES,
+    "lite": ON_DEMAND_FEATURES,
+    "summary_only": SUMMARY_ONLY_FEATURES,
+}
+
+#: classifier tier -> the confidence surfaced in watchdog assessments
+CONFIDENCE_BY_TIER: dict[str, str] = {
+    "frappe": "high",
+    "lite": "medium",
+    "summary_only": "low",
+    "none": "none",
+}
+
+
+def classification_tier(record: CrawlRecord) -> str:
+    """Which classifier tier a (possibly degraded) crawl record supports.
+
+    Only *transient* give-ups degrade the tier; authoritative failures
+    keep the record on the full-FRAppE path, where missingness is
+    itself a signal.  Records without outcome bookkeeping (e.g. loaded
+    from an export) are treated as authoritative.
+    """
+    if record.gave_up("summary"):
+        return "none"
+    if record.gave_up("feed") and record.gave_up("install"):
+        return "summary_only"
+    if record.gave_up("feed") or record.gave_up("install"):
+        return "lite"
+    return "frappe"
 
 
 class FeatureExtractor:
@@ -119,6 +175,14 @@ class FeatureExtractor:
         return float(len(record.permissions))
 
     def _feature_client_id_mismatch(self, record: CrawlRecord) -> float:
+        # Tri-state source: True -> 1.0; both False (verified match) and
+        # None (install crawl yielded nothing) -> 0.0.  Folding None into
+        # the benign encoding is the paper's protocol — the feature is
+        # measured over D-Inst, where the crawl succeeded — and keeps the
+        # vector identical whether the install data is authoritatively
+        # absent or never collected.  The missing-vs-benign distinction
+        # is carried by classification_tier / CrawlRecord.gave_up, not
+        # smuggled into the Lite feature vector.
         return 1.0 if record.client_id_mismatch else 0.0
 
     def _feature_wot_score(self, record: CrawlRecord) -> float:

@@ -20,7 +20,9 @@ from repro.core.features import (
     ALL_FEATURES,
     ON_DEMAND_FEATURES,
     ROBUST_FEATURES,
+    TIER_FEATURES,
     FeatureExtractor,
+    classification_tier,
 )
 from repro.crawler.crawler import CrawlRecord
 from repro.ml.crossval import cross_validate, subsample_to_ratio
@@ -28,7 +30,13 @@ from repro.ml.metrics import ClassificationReport
 from repro.ml.scaling import StandardScaler
 from repro.ml.svm import SVC
 
-__all__ = ["FrappeClassifier", "frappe_lite", "frappe", "frappe_robust"]
+__all__ = [
+    "FrappeClassifier",
+    "FrappeCascade",
+    "frappe_lite",
+    "frappe",
+    "frappe_robust",
+]
 
 
 class FrappeClassifier:
@@ -104,6 +112,73 @@ class FrappeClassifier:
         return cross_validate(
             lambda: SVC(**self._svm_params), x, y, k=k, rng=rng, scale=True
         )
+
+
+class FrappeCascade:
+    """FRAppE with graceful degradation over partially failed crawls.
+
+    Holds one :class:`FrappeClassifier` per tier — full FRAppE, FRAppE
+    Lite, and a summary-only last resort — all trained on the same
+    labelled records, and routes each record to the best tier its crawl
+    outcomes support (:func:`~repro.core.features.classification_tier`).
+    Records whose summary crawl gave up transiently carry no trustworthy
+    evidence at all; the cascade declines to condemn them (prediction 0,
+    tier ``"none"``) and lets the caller surface the missing confidence.
+
+    On records with no transient failures the cascade is exactly the
+    full FRAppE classifier, so it is a drop-in replacement under a
+    fault-free transport.
+    """
+
+    def __init__(self, extractor: FeatureExtractor, **svm_params) -> None:
+        self._models = {
+            tier: FrappeClassifier(extractor, features, **svm_params)
+            for tier, features in TIER_FEATURES.items()
+        }
+
+    @property
+    def full(self) -> FrappeClassifier:
+        """The all-features FRAppE model (the fault-free behaviour)."""
+        return self._models["frappe"]
+
+    def model(self, tier: str) -> FrappeClassifier:
+        return self._models[tier]
+
+    def fit(
+        self, records: list[CrawlRecord], labels: np.ndarray | list[int]
+    ) -> "FrappeCascade":
+        for model in self._models.values():
+            model.fit(records, labels)
+        return self
+
+    def tier_of(self, record: CrawlRecord) -> str:
+        return classification_tier(record)
+
+    def predict(self, records: list[CrawlRecord]) -> np.ndarray:
+        """Per-record predictions, each routed through its tier's model."""
+        predictions = np.zeros(len(records), dtype=int)
+        by_tier: dict[str, list[int]] = {}
+        for index, record in enumerate(records):
+            by_tier.setdefault(self.tier_of(record), []).append(index)
+        for tier, indices in by_tier.items():
+            if tier == "none":
+                continue  # no trustworthy evidence: leave the 0
+            tier_predictions = self._models[tier].predict(
+                [records[i] for i in indices]
+            )
+            predictions[indices] = tier_predictions
+        return predictions
+
+    def predict_one(self, record: CrawlRecord) -> bool:
+        return bool(self.predict([record])[0])
+
+    def decision_function_one(self, record: CrawlRecord) -> tuple[float, str]:
+        """(SVM margin, tier) for one record; margin 0 for tier ``none``."""
+        tier = self.tier_of(record)
+        if tier == "none":
+            return 0.0, tier
+        margin = float(self._models[tier].decision_function([record])[0])
+        return margin, tier
 
 
 def frappe_lite(extractor: FeatureExtractor, **svm_params) -> FrappeClassifier:

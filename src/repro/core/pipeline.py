@@ -7,6 +7,14 @@ D-Total (Sec 5.3) → validate the flags (Table 8).
 
 Every benchmark and example consumes a :class:`PipelineResult`, so the
 expensive steps run once per configuration.
+
+All crawling goes through one transport built from the configuration
+(:func:`~repro.crawler.crawler.make_crawler`): with
+``ScaleConfig.fault_rate == 0`` that is the fault-free direct transport
+and the study is exactly the paper's; with a positive rate the crawler
+fights injected rate limits, 5xx errors, timeouts, truncated feeds, and
+mid-crawl deletions, and the classification of records it could not
+fully recover degrades through the :class:`FrappeCascade` tiers.
 """
 
 from __future__ import annotations
@@ -15,14 +23,15 @@ from dataclasses import dataclass, field
 
 from repro.config import ScaleConfig
 from repro.core.features import FeatureExtractor
-from repro.core.frappe import FrappeClassifier, frappe
+from repro.core.frappe import FrappeCascade, FrappeClassifier, frappe
 from repro.core.validation import FlagValidator, ValidationResult
-from repro.crawler.crawler import AppCrawler, CrawlRecord
+from repro.crawler.crawler import AppCrawler, CrawlRecord, make_crawler
 from repro.crawler.datasets import DatasetBuilder, DatasetBundle
 from repro.ecosystem.params import GenerationParams
 from repro.ecosystem.simulation import CrawlSchedule, SimulatedWorld, run_simulation
 from repro.mypagekeeper.classifier import UrlClassifier
 from repro.mypagekeeper.monitor import MonitorReport, MyPageKeeper
+from repro.platform.transport import TransportStats
 
 __all__ = ["PipelineResult", "FrappePipeline"]
 
@@ -41,6 +50,10 @@ class PipelineResult:
     #: apps FRAppE flagged in the unlabelled remainder
     flagged_new: set[str] = field(default_factory=set)
     validation: ValidationResult | None = None
+    #: the degradation cascade (present when fault injection is on)
+    cascade: FrappeCascade | None = None
+    #: requests / injected faults / simulated latency of every crawl
+    transport_stats: TransportStats | None = None
 
     def sample_records(self) -> tuple[list[CrawlRecord], list[int]]:
         """(records, labels) over D-Sample, in a stable order."""
@@ -83,15 +96,24 @@ class FrappePipeline:
         """Run the measurement chain over an already built world."""
         url_classifier = UrlClassifier(world.services.blacklist)
         report = MyPageKeeper(url_classifier, world.post_log).scan()
-        bundle = DatasetBuilder(world, report).build(crawl=True)
+        # One crawler (hence one transport and fault state) serves both
+        # the D-Sample crawl and the unlabelled sweep, so the stats
+        # describe the whole study and a mid-crawl deletion stays gone.
+        crawler = make_crawler(world)
+        bundle = DatasetBuilder(world, report).build(crawl=True, crawler=crawler)
         extractor = self.make_extractor(world, bundle)
 
-        classifier = frappe(extractor)
         records, labels = [], []
         for app_id in sorted(bundle.d_sample):
             records.append(bundle.records[app_id])
             labels.append(bundle.label(app_id))
-        classifier.fit(records, labels)
+        faulted = world.config.fault_rate > 0.0
+        cascade = None
+        if faulted:
+            cascade = FrappeCascade(extractor).fit(records, labels)
+            classifier = cascade.full
+        else:
+            classifier = frappe(extractor).fit(records, labels)
 
         result = PipelineResult(
             world=world,
@@ -99,9 +121,11 @@ class FrappePipeline:
             bundle=bundle,
             extractor=extractor,
             classifier=classifier,
+            cascade=cascade,
+            transport_stats=crawler.stats,
         )
         if sweep_unlabelled:
-            self._sweep_unlabelled(result)
+            self._sweep_unlabelled(result, crawler)
         return result
 
     @staticmethod
@@ -129,15 +153,22 @@ class FrappePipeline:
             id_to_name=id_to_name,
         )
 
-    def _sweep_unlabelled(self, result: PipelineResult) -> None:
-        """Apply FRAppE to every D-Total app outside D-Sample (Sec 5.3)."""
+    def _sweep_unlabelled(
+        self, result: PipelineResult, crawler: AppCrawler
+    ) -> None:
+        """Apply FRAppE to every D-Total app outside D-Sample (Sec 5.3).
+
+        Under fault injection the sweep routes each record through the
+        cascade, so transiently degraded crawls are judged by the tier
+        their surviving collections support instead of by imputed zeros.
+        """
         unlabelled = result.bundle.d_total - result.bundle.d_sample
-        crawler = AppCrawler(result.world)
         result.unlabelled_records = crawler.crawl_many(unlabelled)
         ordered = sorted(result.unlabelled_records)
         records = [result.unlabelled_records[a] for a in ordered]
         if records:
-            predictions = result.classifier.predict(records)
+            model = result.cascade or result.classifier
+            predictions = model.predict(records)
             result.flagged_new = {
                 app_id for app_id, hit in zip(ordered, predictions) if hit
             }

@@ -8,9 +8,15 @@ trained classifier:
 * a calibrated **risk score** in [0, 100] per app (sigmoid of the SVM
   margin, rescaled so the decision boundary maps to 50),
 * an **assessment cache** with explicit re-crawl staleness,
-* a **ranking** of the riskiest apps, and
+* a **ranking** of the riskiest apps,
 * human-readable **advisories** explaining which features drove the
-  verdict.
+  verdict, and
+* a **confidence tier** per assessment: a verdict computed from a
+  partially failed crawl (transient give-ups, not authoritative
+  removals) is served with degraded confidence rather than presented
+  as if every feature had been observed — and a re-crawl that fails
+  outright degrades the *cached* verdict's confidence instead of
+  silently serving stale data.
 """
 
 from __future__ import annotations
@@ -18,14 +24,21 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.core.features import FeatureExtractor
-from repro.core.frappe import FrappeClassifier
+from repro.core.features import (
+    CONFIDENCE_BY_TIER,
+    FeatureExtractor,
+    classification_tier,
+)
+from repro.core.frappe import FrappeCascade, FrappeClassifier
 from repro.crawler.crawler import AppCrawler, CrawlRecord
 
 __all__ = ["AppAssessment", "AppWatchdog"]
 
 #: Feature -> human explanation used in advisories.  The predicate
 #: receives the feature's raw value and says whether it is suspicious.
+#: Tri-state features only fire on their *positive* encoding: a missing
+#: install crawl leaves ``client_id_mismatch`` at None -> 0.0, which
+#: must read as "unverified", never as "mismatch observed".
 _ADVISORY_RULES: tuple[tuple[str, str, object], ...] = (
     ("has_description", "the app provides no description",
      lambda v: v == 0.0),
@@ -45,6 +58,13 @@ _ADVISORY_RULES: tuple[tuple[str, str, object], ...] = (
      "Facebook", lambda v: v >= 0.5),
 )
 
+#: collection -> advisory note when its crawl transiently gave up
+_DEGRADED_NOTES: dict[str, str] = {
+    "summary": "the summary crawl could not be completed",
+    "feed": "the profile-feed crawl could not be completed",
+    "install": "the install-URL crawl could not be completed",
+}
+
 
 @dataclass
 class AppAssessment:
@@ -55,25 +75,42 @@ class AppAssessment:
     risk_score: float  # 0 (safe) .. 100 (malicious), 50 = boundary
     advisories: list[str] = field(default_factory=list)
     assessed_day: int = 0
+    #: high | medium | low | none | stale — how much crawl evidence
+    #: backs the score (see features.CONFIDENCE_BY_TIER; "stale" marks
+    #: a cached verdict whose refresh crawl failed)
+    confidence: str = "high"
 
     @property
     def is_risky(self) -> bool:
-        return self.risk_score >= 50.0
+        # Strictly above the boundary: a score of exactly 50 is "no
+        # verdict" (SVM margin 0 — notably the no-evidence fallback of a
+        # fully failed crawl), and the classifier flags only positive
+        # margins, so the watchdog must not condemn on it either.
+        return self.risk_score > 50.0
 
     def summary(self) -> str:
         label = "HIGH RISK" if self.is_risky else "low risk"
         head = f"{self.name or self.app_id}: {label} ({self.risk_score:.0f}/100)"
+        if self.confidence != "high":
+            head += f" [confidence: {self.confidence}]"
         if not self.advisories:
             return head
         return head + "\n  - " + "\n  - ".join(self.advisories)
 
 
 class AppWatchdog:
-    """Assesses, caches, and ranks apps with a trained classifier."""
+    """Assesses, caches, and ranks apps with a trained classifier.
+
+    Accepts either a plain :class:`FrappeClassifier` (every record is
+    scored by the one model, as in the paper) or a
+    :class:`FrappeCascade` (degraded records fall back to the best tier
+    their surviving collections support).  Either way the assessment
+    carries the confidence tier the record's crawl outcomes warrant.
+    """
 
     def __init__(
         self,
-        classifier: FrappeClassifier,
+        classifier: FrappeClassifier | FrappeCascade,
         extractor: FeatureExtractor,
         crawler: AppCrawler,
         max_staleness_days: int = 14,
@@ -92,10 +129,26 @@ class AppWatchdog:
         """Map the SVM margin to [0, 100] with 50 at the boundary."""
         return 100.0 / (1.0 + math.exp(-margin * self._margin_scale))
 
-    def _advisories(self, record: CrawlRecord) -> list[str]:
+    def _margin_and_tier(self, record: CrawlRecord) -> tuple[float, str]:
+        if isinstance(self._classifier, FrappeCascade):
+            return self._classifier.decision_function_one(record)
+        # A plain classifier has no fallback: score with the one model
+        # and let the confidence tier carry the caveat.
+        tier = classification_tier(record)
+        return float(self._classifier.decision_function([record])[0]), tier
+
+    def _advisory_features(self, tier: str) -> tuple[str, ...]:
+        if isinstance(self._classifier, FrappeCascade):
+            if tier == "none":
+                return ()
+            return self._classifier.model(tier).features
+        return self._classifier.features
+
+    def _advisories(self, record: CrawlRecord, tier: str) -> list[str]:
+        features = self._advisory_features(tier)
         notes = []
         for feature, text, predicate in _ADVISORY_RULES:
-            if feature not in self._classifier.features:
+            if feature not in features:
                 continue
             value = self._extractor.feature_value(feature, record)
             if predicate(value):
@@ -104,7 +157,7 @@ class AppWatchdog:
 
     def assess_record(self, record: CrawlRecord, day: int = 0) -> AppAssessment:
         """Assess an already crawled record (no caching)."""
-        margin = float(self._classifier.decision_function([record])[0])
+        margin, tier = self._margin_and_tier(record)
         # Deleted apps have no crawlable summary; fall back to the name
         # observed in post metadata (how the paper knows dead apps' names).
         name = record.name or self._extractor.name_of(record.app_id)
@@ -113,19 +166,42 @@ class AppWatchdog:
             name=name,
             risk_score=self._risk_from_margin(margin),
             assessed_day=day,
+            confidence=CONFIDENCE_BY_TIER[tier],
         )
         if assessment.is_risky:
-            assessment.advisories = self._advisories(record)
+            assessment.advisories = self._advisories(record, tier)
+        for collection in record.degraded_collections:
+            assessment.advisories.append(_DEGRADED_NOTES[collection])
         return assessment
 
     # -- the service surface -------------------------------------------------
 
     def assess(self, app_id: str, day: int = 0) -> AppAssessment:
-        """Crawl-and-assess with caching and staleness-driven re-crawls."""
+        """Crawl-and-assess with caching and staleness-driven re-crawls.
+
+        A stale cache entry triggers a re-crawl.  If the re-crawl comes
+        back with no trustworthy evidence at all (every collection gave
+        up transiently) while a previous verdict exists, the previous
+        verdict is *degraded* — same score, confidence ``"stale"`` —
+        rather than silently served as-is or replaced by a score
+        computed from zeros.
+        """
         cached = self._cache.get(app_id)
         if cached is not None and day - cached.assessed_day <= self.max_staleness_days:
             return cached
         record = self._crawler.crawl_app(app_id)
+        if cached is not None and classification_tier(record) == "none":
+            degraded = AppAssessment(
+                app_id=cached.app_id,
+                name=cached.name,
+                risk_score=cached.risk_score,
+                advisories=list(cached.advisories)
+                + ["re-crawl failed; verdict may be out of date"],
+                assessed_day=day,
+                confidence="stale",
+            )
+            self._cache[app_id] = degraded
+            return degraded
         assessment = self.assess_record(record, day=day)
         self._cache[app_id] = assessment
         return assessment

@@ -6,16 +6,48 @@ Bakers vetting used to select benign apps, the popular-app whitelist
 that rescues piggybacked apps from mislabelling, and the construction of
 the D-Total / D-Sample / D-Summary / D-Inst / D-ProfileFeed / D-Complete
 datasets (Table 1).
+
+Crawls run through a transport layer that may inject faults
+(:mod:`repro.platform.transport`); :mod:`repro.crawler.resilience`
+provides the retry/backoff policy, circuit breakers, and per-collection
+outcome records the crawler uses to survive them.
 """
 
 from repro.crawler.socialbakers import SocialBakers
-from repro.crawler.crawler import AppCrawler, CrawlRecord
+from repro.crawler.crawler import (
+    AppCrawler,
+    CrawlRecord,
+    make_crawler,
+    outcome_tallies,
+    recovery_rate,
+)
 from repro.crawler.datasets import DatasetBundle, DatasetBuilder
+from repro.crawler.resilience import (
+    GAVE_UP,
+    OK,
+    PERMANENT,
+    SKIPPED,
+    CircuitBreaker,
+    CrawlOutcome,
+    ResilientExecutor,
+    RetryPolicy,
+)
 
 __all__ = [
     "SocialBakers",
     "AppCrawler",
     "CrawlRecord",
+    "make_crawler",
+    "outcome_tallies",
+    "recovery_rate",
     "DatasetBundle",
     "DatasetBuilder",
+    "OK",
+    "GAVE_UP",
+    "PERMANENT",
+    "SKIPPED",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CrawlOutcome",
+    "ResilientExecutor",
 ]

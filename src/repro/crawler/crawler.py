@@ -1,4 +1,4 @@
-"""The Selenium-style app crawler (Sec 2.3).
+"""The Selenium-style app crawler (Sec 2.3), now failure-aware.
 
 For each app ID the crawler attempts three collections over the
 March–May window:
@@ -12,6 +12,15 @@ March–May window:
   redirect flows are built for humans, which is why D-Inst is the
   smallest dataset.
 
+All platform access goes through a transport
+(:mod:`repro.platform.transport`) under a retry policy and per-endpoint
+circuit breakers (:mod:`repro.crawler.resilience`): transient faults
+(rate limits, 5xx, timeouts) are retried with jittered backoff, while
+authoritative failures (app removed) are never retried.  Each
+collection's :class:`~repro.crawler.resilience.CrawlOutcome` is kept on
+the record so downstream consumers can tell *the platform said no*
+(informative missingness, Sec 4.1) from *we gave up* (no signal).
+
 The crawler returns raw observations only; feature computation lives in
 :mod:`repro.core.features`.
 """
@@ -22,13 +31,34 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 from typing import Any
 
-from repro.platform.graph_api import GraphApiError
-from repro.platform.install import AppRemovedError
+from repro.crawler.resilience import (
+    GAVE_UP,
+    OK,
+    CrawlOutcome,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from repro.platform.transport import (
+    DirectTransport,
+    FaultPlan,
+    FaultyTransport,
+    TransportStats,
+)
+from repro.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.ecosystem.simulation import SimulatedWorld
 
-__all__ = ["CrawlRecord", "AppCrawler"]
+__all__ = [
+    "CrawlRecord",
+    "AppCrawler",
+    "make_crawler",
+    "outcome_tallies",
+    "recovery_rate",
+]
+
+#: collection names, in crawl order
+COLLECTIONS = ("summary", "feed", "install")
 
 
 @dataclass
@@ -51,10 +81,21 @@ class CrawlRecord:
     permissions: tuple[str, ...] = ()
     observed_client_id: str | None = None
     redirect_uri: str | None = None
+    #: per-collection crawl outcomes (empty for records built elsewhere,
+    #: e.g. loaded from an export — treated as authoritative)
+    outcomes: dict[str, CrawlOutcome] = field(default_factory=dict)
 
     @property
     def client_id_mismatch(self) -> bool | None:
-        """Did the install URL hand out a different app's client ID?"""
+        """Did the install URL hand out a different app's client ID?
+
+        Tri-state: ``None`` means the install crawl yielded nothing —
+        whether because the flow is human-only, the app is removed, or
+        the crawl gave up — and *must not* be conflated with ``False``
+        (verified match).  Callers deciding "is this suspicious?" should
+        test ``is True``; callers deciding "is this verified-clean?"
+        should test ``is False``.
+        """
         if not self.inst_ok or self.observed_client_id is None:
             return None
         return self.observed_client_id != self.app_id
@@ -75,18 +116,64 @@ class CrawlRecord:
         """Did all three collections succeed (D-Complete membership)?"""
         return self.summary_ok and self.feed_ok and self.inst_ok
 
+    # -- failure-awareness -------------------------------------------------
+
+    def gave_up(self, collection: str) -> bool:
+        """Did this collection end in a transient give-up (no verdict)?"""
+        outcome = self.outcomes.get(collection)
+        return outcome is not None and outcome.status == GAVE_UP
+
+    @property
+    def degraded_collections(self) -> tuple[str, ...]:
+        """Collections whose absence is *uninformative* (crawler gave up)."""
+        return tuple(c for c in COLLECTIONS if self.gave_up(c))
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_collections)
+
 
 class AppCrawler:
-    """Crawls app IDs against the simulated platform."""
+    """Crawls app IDs against the simulated platform, resiliently.
 
-    def __init__(self, world: "SimulatedWorld") -> None:
+    With the default :class:`DirectTransport` no transient fault can
+    occur, every collection succeeds or fails authoritatively on the
+    first attempt, and the records are identical to a crawler with no
+    resilience layer at all.
+    """
+
+    def __init__(
+        self,
+        world: "SimulatedWorld",
+        transport: DirectTransport | FaultyTransport | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
         self._world = world
+        self._transport = transport or DirectTransport(
+            world.graph_api, world.installer
+        )
+        self._policy = retry_policy or RetryPolicy()
+        self._executor = ResilientExecutor(
+            self._policy,
+            self._transport.stats,
+            seed=derive_seed(world.config.master_seed, "crawler-retry"),
+        )
+
+    @property
+    def stats(self) -> TransportStats:
+        """Latency and fault accounting for everything this crawler did."""
+        return self._transport.stats
+
+    @property
+    def executor(self) -> ResilientExecutor:
+        return self._executor
 
     def crawl_app(self, app_id: str) -> CrawlRecord:
         record = CrawlRecord(app_id=app_id)
-        self._crawl_summaries(record)
-        self._crawl_profile_feed(record)
-        self._crawl_install_url(record)
+        deadline_at = self.stats.elapsed_s + self._policy.per_app_deadline_s
+        self._crawl_summaries(record, deadline_at)
+        self._crawl_profile_feed(record, deadline_at)
+        self._crawl_install_url(record, deadline_at)
         return record
 
     def crawl_many(self, app_ids: list[str] | set[str]) -> dict[str, CrawlRecord]:
@@ -94,15 +181,21 @@ class AppCrawler:
 
     # -- individual collections ------------------------------------------
 
-    def _crawl_summaries(self, record: CrawlRecord) -> None:
+    def _crawl_summaries(self, record: CrawlRecord, deadline_at: float) -> None:
         schedule = self._world.schedule
-        graph = self._world.graph_api
+        outcome = CrawlOutcome("summary")
+        record.outcomes["summary"] = outcome
         first = schedule.summary_crawl_day
         last = first + schedule.crawl_months * 30
         for day in range(first, last, 7):
-            try:
-                summary = graph.summary(record.app_id, day=day)
-            except GraphApiError:
+            summary = self._executor.call(
+                "summary",
+                record.app_id,
+                lambda day=day: self._transport.summary(record.app_id, day=day),
+                outcome,
+                deadline_at=deadline_at,
+            )
+            if summary is None:
                 continue
             record.summary_ok = True
             record.name = summary["name"]
@@ -111,26 +204,104 @@ class AppCrawler:
             record.category = summary["category"]
             record.mau_observations.append(int(summary["monthly_active_users"]))
 
-    def _crawl_profile_feed(self, record: CrawlRecord) -> None:
-        try:
-            feed = self._world.graph_api.profile_feed(
+    def _crawl_profile_feed(self, record: CrawlRecord, deadline_at: float) -> None:
+        outcome = CrawlOutcome("feed")
+        record.outcomes["feed"] = outcome
+        feed = self._executor.call(
+            "feed",
+            record.app_id,
+            lambda: self._transport.profile_feed(
                 record.app_id, day=self._world.schedule.profilefeed_crawl_day
-            )
-        except GraphApiError:
+            ),
+            outcome,
+            deadline_at=deadline_at,
+        )
+        if feed is None:
             return
         record.feed_ok = True
         record.profile_posts = feed
 
-    def _crawl_install_url(self, record: CrawlRecord) -> None:
+    def _crawl_install_url(self, record: CrawlRecord, deadline_at: float) -> None:
         day = self._world.schedule.inst_crawl_day
+        outcome = CrawlOutcome("install")
+        record.outcomes["install"] = outcome
         app = self._world.registry.maybe_get(record.app_id)
         if app is None or not app.install_flow_crawlable:
             return  # human-only redirect flow: the crawler gets stuck
-        try:
-            prompt = self._world.installer.visit_install_url(record.app_id, day=day)
-        except AppRemovedError:
+        prompt = self._executor.call(
+            "install",
+            record.app_id,
+            lambda: self._transport.visit_install_url(record.app_id, day=day),
+            outcome,
+            deadline_at=deadline_at,
+        )
+        if prompt is None:
             return
         record.inst_ok = True
         record.permissions = prompt.permissions
         record.observed_client_id = prompt.client_id
         record.redirect_uri = prompt.redirect_uri
+
+    # -- summaries over many crawls ---------------------------------------
+
+    def outcome_tallies(
+        self, records: dict[str, CrawlRecord]
+    ) -> dict[str, dict[str, int]]:
+        return outcome_tallies(records)
+
+    def recovery_rate(self, records: dict[str, CrawlRecord]) -> float | None:
+        return recovery_rate(records)
+
+
+def outcome_tallies(
+    records: dict[str, CrawlRecord]
+) -> dict[str, dict[str, int]]:
+    """``{collection: {status: count}}`` over crawled *records*."""
+    tallies: dict[str, dict[str, int]] = {c: {} for c in COLLECTIONS}
+    for record in records.values():
+        for collection in COLLECTIONS:
+            outcome = record.outcomes.get(collection)
+            status = outcome.status if outcome else OK
+            per = tallies[collection]
+            per[status] = per.get(status, 0) + 1
+    return tallies
+
+
+def recovery_rate(records: dict[str, CrawlRecord]) -> float | None:
+    """Of the collections that saw transient faults, how many recovered?
+
+    Recovery means retries still reached a definitive result — data
+    (OK) or an authoritative removal (PERMANENT); only an exhausted
+    budget (GAVE_UP) is a loss.  ``None`` when no collection was
+    transiently faulted (nothing to recover — e.g. a fault-free crawl).
+    """
+    recovered = faulted = 0
+    for record in records.values():
+        for outcome in record.outcomes.values():
+            if outcome.transiently_failed:
+                faulted += 1
+                if outcome.recovered:
+                    recovered += 1
+    if faulted == 0:
+        return None
+    return recovered / faulted
+
+
+def make_crawler(world: "SimulatedWorld") -> AppCrawler:
+    """Build the crawler the world's :class:`ScaleConfig` asks for.
+
+    ``fault_rate == 0`` wires the fault-free :class:`DirectTransport`
+    (the strict no-op path); a positive rate wires a
+    :class:`FaultyTransport` whose plan is seeded from the master seed,
+    so the whole faulted study stays a pure function of the seed.
+    """
+    config = world.config
+    policy = RetryPolicy(max_attempts=config.retry_budget)
+    if config.fault_rate <= 0.0:
+        return AppCrawler(world, retry_policy=policy)
+    plan = FaultPlan(
+        fault_rate=config.fault_rate,
+        seed=derive_seed(config.master_seed, "fault-plan"),
+    )
+    transport = FaultyTransport(world.graph_api, world.installer, plan)
+    return AppCrawler(world, transport=transport, retry_policy=policy)

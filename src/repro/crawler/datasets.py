@@ -112,7 +112,14 @@ class DatasetBuilder:
         self._labeler = AppLabeler(report)
         self._whitelist_top_fraction = whitelist_top_fraction
 
-    def build(self, crawl: bool = True) -> DatasetBundle:
+    def build(
+        self, crawl: bool = True, crawler: AppCrawler | None = None
+    ) -> DatasetBundle:
+        """Assemble the bundle, optionally crawling D-Sample.
+
+        Pass *crawler* to crawl through a configured transport (fault
+        injection, retry policy); the default is a fault-free crawler.
+        """
         d_total = self._labeler.observed_app_ids()
         whitelist = self._build_whitelist(d_total)
         flagged = self._labeler.malicious_app_ids()
@@ -125,7 +132,7 @@ class DatasetBuilder:
             d_sample_benign=d_sample_benign,
         )
         if crawl:
-            crawler = AppCrawler(self._world)
+            crawler = crawler or AppCrawler(self._world)
             bundle.records = crawler.crawl_many(bundle.d_sample)
         return bundle
 
@@ -139,8 +146,7 @@ class DatasetBuilder:
         """
         ranked = sorted(
             d_total,
-            key=lambda app_id: self._report.total_count(app_id),
-            reverse=True,
+            key=lambda app_id: (-self._report.total_count(app_id), app_id),
         )
         top = max(1, int(len(ranked) * self._whitelist_top_fraction))
         return set(ranked[:top])
@@ -148,16 +154,21 @@ class DatasetBuilder:
     def _select_benign(
         self, d_total: set[str], flagged: set[str], needed: int
     ) -> set[str]:
-        """Benign half of D-Sample: vetted apps first, then top posters."""
+        """Benign half of D-Sample: vetted apps first, then top posters.
+
+        Candidates are ranked in a canonical order (ties broken by app
+        ID) so the selection — and everything downstream of it — is
+        identical for a given seed regardless of the process's string
+        hash seed (set iteration order is not deterministic otherwise).
+        """
         socialbakers = self._world.socialbakers
-        unflagged = [a for a in d_total if a not in flagged]
+        unflagged = sorted(a for a in d_total if a not in flagged)
         vetted = [a for a in unflagged if socialbakers.is_vetted(a)]
         chosen = set(vetted[:needed]) if len(vetted) >= needed else set(vetted)
         if len(chosen) < needed:
             by_volume = sorted(
                 (a for a in unflagged if a not in chosen),
-                key=lambda app_id: self._report.total_count(app_id),
-                reverse=True,
+                key=lambda app_id: (-self._report.total_count(app_id), app_id),
             )
             chosen.update(by_volume[: needed - len(chosen)])
         return chosen

@@ -1,0 +1,274 @@
+"""Retry, backoff, and circuit breaking for the crawler (Sec 2.3 at scale).
+
+The paper's crawler simply lost whatever a failed request would have
+returned — which is why D-Inst is the smallest dataset.  A production
+watchdog cannot afford that: this module gives the crawler
+
+* a :class:`RetryPolicy` — exponential backoff with *full jitter* drawn
+  from a seeded RNG, a per-request attempt budget, and a per-app
+  deadline so one pathological app cannot stall the crawl,
+* a :class:`CircuitBreaker` per endpoint class (summary / feed /
+  install) that stops hammering an endpoint that is failing
+  consistently and probes it again after a cooldown, and
+* a :class:`CrawlOutcome` record per collection so downstream layers
+  can distinguish *authoritative* missing data (app removed — itself a
+  malice signal, Sec 4.1) from *transient* missing data (we gave up —
+  no signal at all).
+
+All sleeping is simulated: delays are added to the transport's
+:class:`~repro.platform.transport.TransportStats` clock, which is also
+the clock the breakers schedule cooldowns against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.platform.graph_api import GraphApiError
+from repro.platform.install import AppRemovedError
+from repro.platform.transport import (
+    RateLimitError,
+    TransientGraphApiError,
+    TransportStats,
+)
+from repro.rng import derive_seed
+
+__all__ = [
+    "OK",
+    "GAVE_UP",
+    "PERMANENT",
+    "SKIPPED",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "CrawlOutcome",
+    "ResilientExecutor",
+]
+
+#: collection succeeded (possibly after retries)
+OK = "ok"
+#: transient failures exhausted the retry budget / deadline — no verdict
+GAVE_UP = "gave_up"
+#: the platform answered authoritatively: the app is removed
+PERMANENT = "permanent"
+#: the crawler never attempted the collection (human-only install flow)
+SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff schedule and budgets for transient-fault retries."""
+
+    #: attempts per request, first try included
+    max_attempts: int = 4
+    base_delay_s: float = 2.0
+    max_delay_s: float = 60.0
+    #: simulated-time budget for all of one app's collections
+    per_app_deadline_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def backoff(self, attempt: int, rng: np.random.Generator) -> float:
+        """Full-jitter exponential backoff for a (0-based) failed attempt."""
+        cap = min(self.max_delay_s, self.base_delay_s * (2.0**attempt))
+        return float(rng.uniform(0.0, cap))
+
+    def delay_for(
+        self, error: TransientGraphApiError, attempt: int, rng: np.random.Generator
+    ) -> float:
+        """The wait before retrying *error* — honours rate-limit hints."""
+        delay = self.backoff(attempt, rng)
+        if isinstance(error, RateLimitError):
+            delay = max(delay, error.retry_after)
+        return delay
+
+
+class CircuitBreaker:
+    """Per-endpoint closed / open / half-open breaker on simulated time.
+
+    ``failure_threshold`` *consecutive* transient failures open the
+    breaker; while open, callers wait out the remaining ``cooldown_s``
+    and then get exactly one half-open probe.  A successful probe (or
+    any authoritative answer) closes the breaker; a failed probe
+    re-opens it.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self, failure_threshold: int = 5, cooldown_s: float = 180.0
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+
+    def cooldown_remaining(self, now_s: float) -> float:
+        """Simulated seconds until a half-open probe is allowed (0 if now)."""
+        if self.state != self.OPEN:
+            return 0.0
+        return max(0.0, self._opened_at + self.cooldown_s - now_s)
+
+    def allow(self, now_s: float) -> bool:
+        """May a request go out at *now_s*?  Transitions open → half-open."""
+        if self.state == self.OPEN:
+            if now_s < self._opened_at + self.cooldown_s:
+                return False
+            self.state = self.HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        self.state = self.CLOSED
+        self._consecutive_failures = 0
+
+    def record_failure(self, now_s: float) -> None:
+        self._consecutive_failures += 1
+        if (
+            self.state == self.HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self._opened_at = now_s
+            self._consecutive_failures = 0
+
+
+@dataclass
+class CrawlOutcome:
+    """How one collection (summary / feed / install) of one app went."""
+
+    collection: str
+    status: str = SKIPPED  # OK | GAVE_UP | PERMANENT | SKIPPED
+    attempts: int = 0
+    #: transient fault kinds encountered, in order
+    faults: list[str] = field(default_factory=list)
+    #: simulated seconds spent on this collection (service + waiting)
+    elapsed_s: float = 0.0
+
+    @property
+    def recovered(self) -> bool:
+        """Did retries turn transient faults into a definitive result?
+
+        Both OK and PERMANENT count: an authoritative "app removed"
+        reached through retries is a successful recovery — the fault
+        cost latency, not the verdict.  Only GAVE_UP is a loss.
+        """
+        return self.status in (OK, PERMANENT) and bool(self.faults)
+
+    @property
+    def transiently_failed(self) -> bool:
+        """Did the collection see at least one transient fault?"""
+        return bool(self.faults)
+
+
+class ResilientExecutor:
+    """Runs transport calls under a retry policy and per-endpoint breakers.
+
+    Jitter is drawn from a stateless per-``(endpoint, app)`` RNG derived
+    from the seed, so retry schedules — like fault draws — are
+    reproducible regardless of crawl order.
+    """
+
+    def __init__(
+        self,
+        policy: RetryPolicy,
+        stats: TransportStats,
+        seed: int = 2012,
+        breakers: dict[str, CircuitBreaker] | None = None,
+    ) -> None:
+        self.policy = policy
+        self.stats = stats
+        self._seed = seed
+        self.breakers = breakers if breakers is not None else {}
+
+    def breaker(self, endpoint: str) -> CircuitBreaker:
+        if endpoint not in self.breakers:
+            self.breakers[endpoint] = CircuitBreaker()
+        return self.breakers[endpoint]
+
+    def call(
+        self,
+        endpoint: str,
+        app_id: str,
+        fn,
+        outcome: CrawlOutcome,
+        deadline_at: float | None = None,
+    ):
+        """Run ``fn`` with retries; returns the result or ``None``.
+
+        Updates *outcome* in place: attempts and faults accumulate (one
+        outcome may span several requests, e.g. the weekly summary
+        queries), and ``status`` is set to the worst applicable verdict
+        so far — OK sticks once any request succeeded, GAVE_UP records
+        an exhausted budget, PERMANENT an authoritative removal.
+        """
+        breaker = self.breaker(endpoint)
+        rng: np.random.Generator | None = None
+        rng_key = f"retry:{endpoint}:{app_id}:{outcome.attempts}"
+        started = self.stats.elapsed_s
+        try:
+            for attempt in range(self.policy.max_attempts):
+                wait = breaker.cooldown_remaining(self.stats.elapsed_s)
+                if wait > 0.0:
+                    if self._past_deadline(deadline_at, wait):
+                        self._mark(outcome, GAVE_UP)
+                        return None
+                    self.stats.add_wait(wait)
+                if not breaker.allow(self.stats.elapsed_s):
+                    self._mark(outcome, GAVE_UP)
+                    return None
+                outcome.attempts += 1
+                try:
+                    result = fn()
+                except TransientGraphApiError as error:
+                    outcome.faults.append(error.kind)
+                    breaker.record_failure(self.stats.elapsed_s)
+                    if attempt + 1 >= self.policy.max_attempts:
+                        self._mark(outcome, GAVE_UP)
+                        return None
+                    if rng is None:  # jitter RNG, derived only when needed
+                        rng = np.random.default_rng(derive_seed(self._seed, rng_key))
+                    delay = self.policy.delay_for(error, attempt, rng)
+                    if self._past_deadline(deadline_at, delay):
+                        self._mark(outcome, GAVE_UP)
+                        return None
+                    self.stats.add_wait(delay)
+                except (AppRemovedError, GraphApiError):
+                    # Authoritative: the app is gone.  The endpoint is
+                    # healthy (it answered), so the breaker resets.
+                    breaker.record_success()
+                    self._mark(outcome, PERMANENT)
+                    return None
+                else:
+                    breaker.record_success()
+                    outcome.status = OK
+                    return result
+            self._mark(outcome, GAVE_UP)
+            return None
+        finally:
+            outcome.elapsed_s += self.stats.elapsed_s - started
+
+    def _past_deadline(self, deadline_at: float | None, wait: float) -> bool:
+        return deadline_at is not None and self.stats.elapsed_s + wait > deadline_at
+
+    @staticmethod
+    def _mark(outcome: CrawlOutcome, status: str) -> None:
+        """Record a terminal status without losing information.
+
+        OK sticks (some request of the collection succeeded), and an
+        authoritative PERMANENT answer sticks over a later GAVE_UP —
+        once the platform has said "removed", the missing data is
+        informative no matter how later requests fare.
+        """
+        if outcome.status == OK:
+            return
+        if outcome.status == PERMANENT and status == GAVE_UP:
+            return
+        outcome.status = status

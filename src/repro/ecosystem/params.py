@@ -8,7 +8,7 @@ started filling in app descriptions?" — Sec 7's robustness discussion).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.config import PAPER
 

@@ -16,24 +16,31 @@ __all__ = ["BENCH_SCALE", "get_result", "get_collusion", "clear_cache"]
 #: Default scale for benchmark runs (~8,900 apps, ~580K posts).
 BENCH_SCALE = 0.08
 
-_RESULTS: dict[tuple[float, int, bool], PipelineResult] = {}
+_RESULTS: dict[tuple[float, int, bool, float], PipelineResult] = {}
 _COLLUSION: dict[tuple[float, int], CollusionGraph] = {}
 
 
 def get_result(
-    scale: float = BENCH_SCALE, seed: int = 2012, sweep: bool = True
+    scale: float = BENCH_SCALE,
+    seed: int = 2012,
+    sweep: bool = True,
+    fault_rate: float = 0.0,
 ) -> PipelineResult:
     """The cached end-to-end pipeline result for a configuration.
 
     A ``sweep=True`` result (includes the Sec 5.3 unlabelled sweep) also
-    satisfies later ``sweep=False`` requests.
+    satisfies later ``sweep=False`` requests.  ``fault_rate`` runs the
+    whole crawl through the fault-injecting transport (the chaos
+    benchmarks sweep it); 0 is the paper's fault-free study.
     """
-    key = (scale, seed, sweep)
+    key = (scale, seed, sweep, fault_rate)
     if key in _RESULTS:
         return _RESULTS[key]
-    if sweep is False and (scale, seed, True) in _RESULTS:
-        return _RESULTS[(scale, seed, True)]
-    pipeline = FrappePipeline(ScaleConfig(scale=scale, master_seed=seed))
+    if sweep is False and (scale, seed, True, fault_rate) in _RESULTS:
+        return _RESULTS[(scale, seed, True, fault_rate)]
+    pipeline = FrappePipeline(
+        ScaleConfig(scale=scale, master_seed=seed, fault_rate=fault_rate)
+    )
     result = pipeline.run(sweep_unlabelled=sweep)
     _RESULTS[key] = result
     return result

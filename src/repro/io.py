@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.crawler.crawler import CrawlRecord
+from repro.crawler.resilience import CrawlOutcome
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.pipeline import PipelineResult
@@ -37,6 +38,15 @@ def _record_to_dict(record: CrawlRecord) -> dict:
         "permissions": list(record.permissions),
         "observed_client_id": record.observed_client_id,
         "redirect_uri": record.redirect_uri,
+        "outcomes": {
+            collection: {
+                "status": outcome.status,
+                "attempts": outcome.attempts,
+                "faults": list(outcome.faults),
+                "elapsed_s": outcome.elapsed_s,
+            }
+            for collection, outcome in record.outcomes.items()
+        },
     }
 
 
@@ -58,6 +68,18 @@ def _record_from_dict(data: dict) -> CrawlRecord:
         permissions=tuple(data.get("permissions", ())),
         observed_client_id=data.get("observed_client_id"),
         redirect_uri=data.get("redirect_uri"),
+        # Older exports carry no outcomes; such records read as
+        # authoritative (no transient give-ups), matching their era.
+        outcomes={
+            collection: CrawlOutcome(
+                collection=collection,
+                status=entry.get("status", "ok"),
+                attempts=int(entry.get("attempts", 0)),
+                faults=list(entry.get("faults", [])),
+                elapsed_s=float(entry.get("elapsed_s", 0.0)),
+            )
+            for collection, entry in data.get("outcomes", {}).items()
+        },
     )
 
 

@@ -26,6 +26,16 @@ from repro.platform.oauth import AccessToken, TokenService
 from repro.platform.install import InstallPrompt, InstallationService
 from repro.platform.graph_api import GraphApi, GraphApiError
 from repro.platform.moderation import ModerationEngine
+from repro.platform.transport import (
+    DirectTransport,
+    FaultPlan,
+    FaultyTransport,
+    RateLimitError,
+    RequestTimeoutError,
+    TransientGraphApiError,
+    TransientServerError,
+    TransportStats,
+)
 
 __all__ = [
     "PERMISSION_POOL",
@@ -44,5 +54,13 @@ __all__ = [
     "InstallationService",
     "GraphApi",
     "GraphApiError",
+    "TransientGraphApiError",
+    "RateLimitError",
+    "TransientServerError",
+    "RequestTimeoutError",
+    "DirectTransport",
+    "FaultyTransport",
+    "FaultPlan",
+    "TransportStats",
     "ModerationEngine",
 ]

@@ -21,7 +21,15 @@ __all__ = ["GraphApi", "GraphApiError"]
 
 
 class GraphApiError(LookupError):
-    """Raised when a Graph API query returns ``false`` (app removed)."""
+    """Raised when a Graph API query returns ``false`` (app removed).
+
+    This is a *permanent* failure: the platform answered authoritatively
+    that the app no longer exists, and retrying cannot change the
+    answer.  Transient failures (rate limits, 5xx, timeouts) are raised
+    as :class:`~repro.platform.transport.TransientGraphApiError`
+    subclasses — callers deciding whether to retry must check for those
+    *before* catching this base class.
+    """
 
 
 class GraphApi:

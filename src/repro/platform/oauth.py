@@ -9,7 +9,7 @@ what hackers exfiltrate to their own servers (step 5 in Fig 2).
 from __future__ import annotations
 
 import secrets
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["AccessToken", "TokenService"]
 

@@ -1,0 +1,384 @@
+"""The network transport under the crawler, with seeded fault injection.
+
+The paper's nine-month crawl was defined by failure: rate limits,
+5xx responses, hung redirect chains, feeds cut short mid-pagination,
+and apps deleted between one weekly snapshot and the next.  This module
+models that reality as a *transport* layer between the crawler and the
+Graph API facade:
+
+* :class:`DirectTransport` — the fault-free transport; every request
+  reaches the platform and only *authoritative* errors (app removed)
+  come back.  This is a strict no-op wrapper: with it, the crawler
+  behaves byte-for-byte as it would talking to the API directly.
+* :class:`FaultyTransport` — wraps the same endpoints but injects
+  transient faults from a deterministic, seeded :class:`FaultPlan`:
+  rate limits (with a retry-after hint), transient 5xx errors, timeouts,
+  truncated feed pages, and mid-crawl app deletion.
+
+Fault decisions are *stateless*: each is derived by hashing
+``(seed, endpoint, app_id, call index)``, so the same plan replayed over
+the same crawl order injects exactly the same faults — retries and
+crawler refactors cannot perturb other apps' fault draws.
+
+Both transports account simulated latency in a shared
+:class:`TransportStats` clock, so benchmarks can measure what a fault
+rate *costs* in crawl time, not just in data loss.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.platform.graph_api import GraphApi, GraphApiError
+from repro.platform.install import (
+    AppRemovedError,
+    InstallationService,
+    InstallPrompt,
+)
+from repro.rng import derive_seed
+
+__all__ = [
+    "TransientGraphApiError",
+    "RateLimitError",
+    "TransientServerError",
+    "RequestTimeoutError",
+    "Fault",
+    "FaultPlan",
+    "TransportStats",
+    "DirectTransport",
+    "FaultyTransport",
+]
+
+
+# -- error taxonomy --------------------------------------------------------
+#
+# GraphApiError / AppRemovedError are *permanent*: the platform answered
+# authoritatively that the app is gone, and retrying cannot change that.
+# The subclasses below are *transient*: the request failed, the platform
+# said nothing about the app, and a retry may succeed.
+
+
+class TransientGraphApiError(GraphApiError):
+    """A request failed without an authoritative answer; retrying may help.
+
+    Contrast with the base :class:`~repro.platform.graph_api.GraphApiError`,
+    which is *permanent* (the app is removed from the graph): callers must
+    never retry the base class, and must always consider retrying this one.
+    """
+
+    #: fault-kind tag (see :class:`FaultPlan`), e.g. ``"rate_limit"``
+    kind: str = "transient"
+
+    def __init__(self, app_id: str, message: str | None = None) -> None:
+        super().__init__(message or app_id)
+        self.app_id = app_id
+
+
+class RateLimitError(TransientGraphApiError):
+    """HTTP 429 analogue: the crawler exceeded its request quota.
+
+    Transient — the request itself was fine; it must be *re-sent after
+    waiting* at least :attr:`retry_after` simulated seconds.
+    """
+
+    kind = "rate_limit"
+
+    def __init__(self, app_id: str, retry_after: float) -> None:
+        super().__init__(app_id, f"rate limited on {app_id}")
+        self.retry_after = float(retry_after)
+
+
+class TransientServerError(TransientGraphApiError):
+    """HTTP 5xx analogue: the platform hiccuped.
+
+    Transient — unlike a summary query returning ``false`` (app removed,
+    permanent), a 5xx carries no verdict about the app and is safe to
+    retry with backoff.
+    """
+
+    kind = "server_error"
+
+
+class RequestTimeoutError(TransientGraphApiError):
+    """The request hung past the client timeout (stuck redirect chains).
+
+    Transient, but expensive: the caller already paid the full timeout
+    in latency before learning nothing.
+    """
+
+    kind = "timeout"
+
+    def __init__(self, app_id: str, elapsed: float) -> None:
+        super().__init__(app_id, f"timed out on {app_id}")
+        self.elapsed = float(elapsed)
+
+
+# -- the fault plan --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One injected fault decision (already materialised draws)."""
+
+    kind: str  # rate_limit | server_error | timeout | vanish | truncate
+    retry_after: float = 0.0  # rate_limit only
+    keep_fraction: float = 1.0  # truncate only
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic recipe for which requests fail and how.
+
+    ``fault_rate`` is the per-request probability of *any* fault; the
+    ``*_weight`` fields apportion it across fault kinds.  Truncation
+    only applies to feed pages and vanishing only to apps still alive,
+    so the effective mix per endpoint renormalises over the applicable
+    kinds.  A plan with ``fault_rate=0`` never injects anything.
+    """
+
+    fault_rate: float = 0.0
+    seed: int = 2012
+    rate_limit_weight: float = 3.0
+    server_error_weight: float = 3.0
+    timeout_weight: float = 2.0
+    truncate_weight: float = 1.0
+    vanish_weight: float = 0.5
+    #: rate-limit retry-after window, simulated seconds
+    retry_after_range: tuple[float, float] = (15.0, 90.0)
+    #: client-side timeout, simulated seconds (paid on every timeout fault)
+    timeout_s: float = 30.0
+    #: service time of a request that reaches the platform
+    base_latency_s: float = 0.35
+    #: service time of a fast failure (429/5xx responses return quickly)
+    error_latency_s: float = 0.12
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ValueError(f"fault_rate must be in [0, 1), got {self.fault_rate}")
+
+    @property
+    def disabled(self) -> bool:
+        return self.fault_rate == 0.0
+
+    def _weights(self, endpoint: str) -> list[tuple[str, float]]:
+        kinds = [
+            ("rate_limit", self.rate_limit_weight),
+            ("server_error", self.server_error_weight),
+            ("timeout", self.timeout_weight),
+            ("vanish", self.vanish_weight),
+        ]
+        if endpoint == "feed":
+            kinds.append(("truncate", self.truncate_weight))
+        return [(kind, weight) for kind, weight in kinds if weight > 0]
+
+    def draw(self, endpoint: str, app_id: str, call_index: int) -> Fault | None:
+        """The fault (if any) for one request, independent of all others."""
+        if self.disabled:
+            return None
+        rng = np.random.default_rng(
+            derive_seed(self.seed, f"fault:{endpoint}:{app_id}:{call_index}")
+        )
+        if rng.random() >= self.fault_rate:
+            return None
+        weighted = self._weights(endpoint)
+        total = sum(weight for _, weight in weighted)
+        pick = rng.random() * total
+        cumulative = 0.0
+        kind = weighted[-1][0]
+        for candidate, weight in weighted:
+            cumulative += weight
+            if pick < cumulative:
+                kind = candidate
+                break
+        if kind == "rate_limit":
+            low, high = self.retry_after_range
+            return Fault(kind, retry_after=float(rng.uniform(low, high)))
+        if kind == "truncate":
+            return Fault(kind, keep_fraction=float(rng.uniform(0.1, 0.9)))
+        return Fault(kind)
+
+
+# -- latency + fault accounting --------------------------------------------
+
+
+@dataclass
+class TransportStats:
+    """What the crawl cost: requests, injected faults, simulated time.
+
+    ``service_s`` accumulates per-request service time (including paid
+    timeouts); ``wait_s`` accumulates time the *crawler* chose to sleep
+    (backoff, retry-after, circuit-breaker cooldowns).  Their sum is the
+    simulated wall clock the resilience layer schedules against.
+    """
+
+    requests: int = 0
+    injected: Counter[str] = field(default_factory=Counter)
+    truncated_feeds: int = 0
+    service_s: float = 0.0
+    wait_s: float = 0.0
+    vanished: set[str] = field(default_factory=set)
+
+    @property
+    def elapsed_s(self) -> float:
+        """The simulated clock: total service plus deliberate waiting."""
+        return self.service_s + self.wait_s
+
+    def add_service(self, seconds: float) -> None:
+        self.service_s += seconds
+
+    def add_wait(self, seconds: float) -> None:
+        self.wait_s += seconds
+
+    def fault_count(self) -> int:
+        return sum(self.injected.values())
+
+
+# -- transports ------------------------------------------------------------
+
+
+class DirectTransport:
+    """The fault-free transport: requests always reach the platform.
+
+    Only authoritative errors (:class:`GraphApiError` /
+    :class:`AppRemovedError`, both meaning *app removed*) propagate.
+    Latency is still accounted so fault-free baselines have a crawl-cost
+    denominator.
+    """
+
+    def __init__(
+        self,
+        graph_api: GraphApi,
+        installer: InstallationService,
+        stats: TransportStats | None = None,
+        base_latency_s: float = 0.35,
+    ) -> None:
+        self._graph_api = graph_api
+        self._installer = installer
+        self._base_latency_s = base_latency_s
+        self.stats = stats or TransportStats()
+
+    def _account(self) -> None:
+        self.stats.requests += 1
+        self.stats.add_service(self._base_latency_s)
+
+    def summary(self, app_id: str, day: int | None = None) -> dict[str, Any]:
+        self._account()
+        return self._graph_api.summary(app_id, day=day)
+
+    def profile_feed(
+        self, app_id: str, day: int | None = None
+    ) -> list[dict[str, Any]]:
+        self._account()
+        return self._graph_api.profile_feed(app_id, day=day)
+
+    def visit_install_url(
+        self, app_id: str, day: int | None = None
+    ) -> InstallPrompt:
+        self._account()
+        return self._installer.visit_install_url(app_id, day=day)
+
+
+class FaultyTransport:
+    """A transport that injects the faults a :class:`FaultPlan` dictates.
+
+    Fault decisions happen *before* the underlying platform call, so an
+    injected fault consumes no platform randomness: the simulated world
+    observed through a faulty transport is the same world, just seen
+    through a lossy network.
+
+    A ``vanish`` fault models the app being deleted mid-crawl: from that
+    request on, this transport answers every query about the app with
+    the *permanent* :class:`GraphApiError`, exactly as the live site
+    starts 404ing halfway through a weekly crawl window.
+    """
+
+    def __init__(
+        self,
+        graph_api: GraphApi,
+        installer: InstallationService,
+        plan: FaultPlan,
+        stats: TransportStats | None = None,
+    ) -> None:
+        self._graph_api = graph_api
+        self._installer = installer
+        self.plan = plan
+        self.stats = stats or TransportStats()
+        self._vanished: set[str] = set()
+        self._call_index: Counter[tuple[str, str]] = Counter()
+
+    # -- fault machinery ---------------------------------------------------
+
+    def _next_index(self, endpoint: str, app_id: str) -> int:
+        key = (endpoint, app_id)
+        index = self._call_index[key]
+        self._call_index[key] = index + 1
+        return index
+
+    def _inject(self, endpoint: str, app_id: str) -> Fault | None:
+        """Account the request and raise if a fault is due.
+
+        Returns the fault for kinds the endpoint handler must apply to
+        the *response* (truncation); raises for request-level faults.
+        """
+        self.stats.requests += 1
+        if app_id in self._vanished:
+            self.stats.add_service(self.plan.base_latency_s)
+            raise GraphApiError(app_id)
+        fault = self.plan.draw(endpoint, app_id, self._next_index(endpoint, app_id))
+        if fault is None:
+            self.stats.add_service(self.plan.base_latency_s)
+            return None
+        self.stats.injected[fault.kind] += 1
+        if fault.kind == "rate_limit":
+            self.stats.add_service(self.plan.error_latency_s)
+            raise RateLimitError(app_id, retry_after=fault.retry_after)
+        if fault.kind == "server_error":
+            self.stats.add_service(self.plan.error_latency_s)
+            raise TransientServerError(app_id)
+        if fault.kind == "timeout":
+            self.stats.add_service(self.plan.timeout_s)
+            raise RequestTimeoutError(app_id, elapsed=self.plan.timeout_s)
+        if fault.kind == "vanish":
+            self._vanished.add(app_id)
+            self.stats.vanished.add(app_id)
+            self.stats.add_service(self.plan.base_latency_s)
+            raise GraphApiError(app_id)
+        # truncate: the request succeeds but the response is cut short.
+        self.stats.add_service(self.plan.base_latency_s)
+        return fault
+
+    # -- endpoints ---------------------------------------------------------
+
+    def summary(self, app_id: str, day: int | None = None) -> dict[str, Any]:
+        self._inject("summary", app_id)
+        return self._graph_api.summary(app_id, day=day)
+
+    def profile_feed(
+        self, app_id: str, day: int | None = None
+    ) -> list[dict[str, Any]]:
+        fault = self._inject("feed", app_id)
+        feed = self._graph_api.profile_feed(app_id, day=day)
+        if fault is not None and fault.kind == "truncate" and feed:
+            kept = max(1, int(len(feed) * fault.keep_fraction))
+            if kept < len(feed):
+                self.stats.truncated_feeds += 1
+                feed = feed[:kept]
+        return feed
+
+    def visit_install_url(
+        self, app_id: str, day: int | None = None
+    ) -> InstallPrompt:
+        try:
+            self._inject("install", app_id)
+        except GraphApiError as err:
+            if app_id in self._vanished and not isinstance(
+                err, TransientGraphApiError
+            ):
+                # The install URL of a vanished app 404s.
+                raise AppRemovedError(app_id) from err
+            raise
+        return self._installer.visit_install_url(app_id, day=day)

@@ -9,7 +9,7 @@ different malicious apps, a third of them hosted on amazonaws.com.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

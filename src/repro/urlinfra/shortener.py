@@ -12,7 +12,7 @@ paper notes two caveats which this model reproduces:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -1,7 +1,5 @@
 """Tests for the ASCII CDF/bar renderers."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis.curves import ascii_bars, ascii_cdf

@@ -1,0 +1,104 @@
+"""Chaos acceptance: the study survives a 20% per-request fault rate.
+
+The resilience layer's contract, end to end:
+
+* the retry/backoff machinery recovers >= 95% of the collections that
+  saw a transient fault (at a 20% rate and the default 4-attempt budget
+  the expected give-up probability per request is ~0.2**4, so recovery
+  should be well above the bar),
+* classification quality barely moves: FRAppE accuracy on D-Sample
+  degrades by at most one point versus the fault-free study,
+* and dataset construction is fault-independent — the crawl happens
+  *after* D-Sample is assembled from MyPageKeeper's report.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ScaleConfig
+from repro.core.pipeline import FrappePipeline, PipelineResult
+from repro.crawler.crawler import outcome_tallies, recovery_rate
+from repro.crawler.resilience import GAVE_UP, OK
+from repro.ecosystem.simulation import run_simulation
+
+from tests.conftest import TEST_SCALE, TEST_SEED
+
+FAULT_RATE = 0.2
+
+
+@pytest.fixture(scope="module")
+def chaos_result() -> PipelineResult:
+    """The same world as the shared fixtures, crawled through faults."""
+    config = ScaleConfig(
+        scale=TEST_SCALE, master_seed=TEST_SEED, fault_rate=FAULT_RATE
+    )
+    world = run_simulation(config)
+    return FrappePipeline(config).run_on_world(world, sweep_unlabelled=False)
+
+
+def accuracy(result: PipelineResult) -> float:
+    records, labels = result.sample_records()
+    model = result.cascade or result.classifier
+    predictions = model.predict(records)
+    return float(np.mean(predictions == np.asarray(labels)))
+
+
+class TestChaosAcceptance:
+    def test_faults_were_actually_injected(self, chaos_result):
+        stats = chaos_result.transport_stats
+        assert stats.fault_count() > 0
+        # The mix exercises several fault kinds, not one pathological one.
+        assert len([k for k, n in stats.injected.items() if n > 0]) >= 3
+        assert stats.wait_s > 0.0  # backoff was paid in simulated time
+
+    def test_recovery_rate_at_least_95_percent(self, chaos_result):
+        rate = recovery_rate(chaos_result.bundle.records)
+        assert rate is not None, "a 20% fault rate must fault some collection"
+        assert rate >= 0.95
+
+    def test_most_collections_end_ok_or_authoritative(self, chaos_result):
+        tallies = outcome_tallies(chaos_result.bundle.records)
+        gave_up = sum(per.get(GAVE_UP, 0) for per in tallies.values())
+        total = sum(sum(per.values()) for per in tallies.values())
+        assert total > 0
+        assert gave_up / total < 0.05
+
+    def test_dataset_construction_is_fault_independent(
+        self, chaos_result, pipeline_result
+    ):
+        assert (
+            chaos_result.bundle.d_sample_malicious
+            == pipeline_result.bundle.d_sample_malicious
+        )
+        assert (
+            chaos_result.bundle.d_sample_benign
+            == pipeline_result.bundle.d_sample_benign
+        )
+        assert chaos_result.bundle.whitelist == pipeline_result.bundle.whitelist
+
+    def test_accuracy_degrades_at_most_one_point(
+        self, chaos_result, pipeline_result
+    ):
+        clean = accuracy(pipeline_result)
+        faulted = accuracy(chaos_result)
+        assert clean - faulted <= 0.01 + 1e-9
+
+    def test_faulted_pipeline_carries_the_cascade(self, chaos_result):
+        assert chaos_result.cascade is not None
+        assert chaos_result.classifier is chaos_result.cascade.full
+
+    def test_degraded_records_expose_their_outcomes(self, chaos_result):
+        records = chaos_result.bundle.records
+        recovered = [
+            r
+            for r in records.values()
+            if any(o.recovered for o in r.outcomes.values())
+        ]
+        assert recovered, "retries should have recovered some collections"
+        for record in records.values():
+            for collection, outcome in record.outcomes.items():
+                assert outcome.collection == collection
+                if outcome.status == OK and collection == "summary":
+                    assert record.summary_ok

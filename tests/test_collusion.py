@@ -6,7 +6,6 @@ simulated world.
 """
 
 import networkx as nx
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

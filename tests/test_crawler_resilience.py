@@ -1,0 +1,251 @@
+"""Retry policy, circuit breaker, and resilient executor (crawler.resilience)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.crawler.resilience import (
+    GAVE_UP,
+    OK,
+    PERMANENT,
+    SKIPPED,
+    CircuitBreaker,
+    CrawlOutcome,
+    ResilientExecutor,
+    RetryPolicy,
+)
+from repro.platform.graph_api import GraphApiError
+from repro.platform.install import AppRemovedError
+from repro.platform.transport import (
+    RateLimitError,
+    TransientServerError,
+    TransportStats,
+)
+
+
+def executor(
+    max_attempts: int = 4, seed: int = 99, **breaker_kwargs
+) -> ResilientExecutor:
+    stats = TransportStats()
+    breakers = (
+        {"summary": CircuitBreaker(**breaker_kwargs)} if breaker_kwargs else None
+    )
+    return ResilientExecutor(
+        RetryPolicy(max_attempts=max_attempts), stats, seed=seed, breakers=breakers
+    )
+
+
+def scripted(*outcomes):
+    """A call whose i-th invocation raises (exception) or returns (value)."""
+    state = {"calls": 0}
+
+    def fn():
+        index = min(state["calls"], len(outcomes) - 1)
+        state["calls"] += 1
+        result = outcomes[index]
+        if isinstance(result, BaseException):
+            raise result
+        return result
+
+    fn.state = state
+    return fn
+
+
+class TestRetryPolicy:
+    def test_backoff_is_full_jitter_under_exponential_cap(self):
+        policy = RetryPolicy(base_delay_s=2.0, max_delay_s=60.0)
+        rng = np.random.default_rng(0)
+        for attempt in range(8):
+            cap = min(60.0, 2.0 * 2.0**attempt)
+            for _ in range(20):
+                assert 0.0 <= policy.backoff(attempt, rng) <= cap
+
+    def test_backoff_deterministic_for_a_seeded_rng(self):
+        policy = RetryPolicy()
+        a = [policy.backoff(i, np.random.default_rng(1)) for i in range(5)]
+        b = [policy.backoff(i, np.random.default_rng(1)) for i in range(5)]
+        assert a == b
+
+    def test_rate_limit_hint_is_a_floor(self):
+        policy = RetryPolicy(base_delay_s=0.001, max_delay_s=0.001)
+        error = RateLimitError("app", retry_after=55.0)
+        delay = policy.delay_for(error, 0, np.random.default_rng(2))
+        assert delay >= 55.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=100.0)
+        for _ in range(2):
+            breaker.record_failure(now_s=0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure(now_s=10.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow(now_s=50.0)
+        assert breaker.cooldown_remaining(now_s=50.0) == pytest.approx(60.0)
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        breaker.record_success()
+        breaker.record_failure(0.0)
+        breaker.record_failure(0.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_then_close(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=100.0)
+        breaker.record_failure(now_s=0.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.allow(now_s=100.0)  # cooldown over: one probe
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=5, cooldown_s=100.0)
+        for _ in range(5):
+            breaker.record_failure(now_s=0.0)
+        assert breaker.allow(now_s=200.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # A single half-open failure re-opens regardless of threshold.
+        breaker.record_failure(now_s=200.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.cooldown_remaining(now_s=200.0) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestResilientExecutor:
+    def test_transient_faults_recover_within_budget(self):
+        ex = executor(max_attempts=4)
+        fn = scripted(
+            TransientServerError("app"), TransientServerError("app"), "payload"
+        )
+        outcome = CrawlOutcome("summary")
+        result = ex.call("summary", "app", fn, outcome)
+        assert result == "payload"
+        assert outcome.status == OK
+        assert outcome.attempts == 3
+        assert outcome.faults == ["server_error", "server_error"]
+        assert outcome.recovered
+        assert outcome.transiently_failed
+        assert ex.stats.wait_s > 0.0  # backoff was simulated
+        assert outcome.elapsed_s == pytest.approx(ex.stats.elapsed_s)
+
+    def test_budget_exhaustion_gives_up(self):
+        ex = executor(max_attempts=3)
+        fn = scripted(TransientServerError("app"))
+        outcome = CrawlOutcome("feed")
+        assert ex.call("feed", "app", fn, outcome) is None
+        assert outcome.status == GAVE_UP
+        assert outcome.attempts == 3
+        assert not outcome.recovered
+
+    def test_permanent_errors_are_never_retried(self):
+        for error in (GraphApiError("app"), AppRemovedError("app")):
+            ex = executor(max_attempts=5)
+            fn = scripted(error)
+            outcome = CrawlOutcome("summary")
+            assert ex.call("summary", "app", fn, outcome) is None
+            assert outcome.status == PERMANENT
+            assert outcome.attempts == 1  # one authoritative answer suffices
+            assert fn.state["calls"] == 1
+            assert outcome.faults == []
+
+    def test_rate_limit_waits_at_least_retry_after(self):
+        ex = executor(max_attempts=2)
+        fn = scripted(RateLimitError("app", retry_after=120.0), "payload")
+        outcome = CrawlOutcome("summary")
+        assert ex.call("summary", "app", fn, outcome) == "payload"
+        assert ex.stats.wait_s >= 120.0
+
+    def test_ok_sticks_across_calls_sharing_an_outcome(self):
+        # The weekly summary collection funnels many requests into one
+        # outcome: one success makes the collection OK even if a later
+        # week gives up.
+        ex = executor(max_attempts=2)
+        outcome = CrawlOutcome("summary")
+        assert ex.call("summary", "app", scripted("week1"), outcome) == "week1"
+        assert (
+            ex.call("summary", "app", scripted(TransientServerError("app")), outcome)
+            is None
+        )
+        assert outcome.status == OK
+        assert outcome.attempts == 3
+
+    def test_permanent_sticks_over_a_later_gave_up(self):
+        ex = executor(max_attempts=2)
+        outcome = CrawlOutcome("summary")
+        ex.call("summary", "app", scripted(GraphApiError("app")), outcome)
+        ex.call("summary", "app", scripted(TransientServerError("app")), outcome)
+        assert outcome.status == PERMANENT
+
+    def test_deadline_aborts_instead_of_sleeping_past_it(self):
+        ex = executor(max_attempts=10)
+        fn = scripted(RateLimitError("app", retry_after=500.0))
+        outcome = CrawlOutcome("summary")
+        result = ex.call(
+            "summary", "app", fn, outcome, deadline_at=ex.stats.elapsed_s + 60.0
+        )
+        assert result is None
+        assert outcome.status == GAVE_UP
+        # It gave up rather than paying the 500 s retry-after.
+        assert ex.stats.wait_s < 500.0
+
+    def test_jitter_is_deterministic_per_seed(self):
+        waits = []
+        for _ in range(2):
+            ex = executor(max_attempts=4, seed=31)
+            outcome = CrawlOutcome("feed")
+            ex.call("feed", "app", scripted(TransientServerError("app")), outcome)
+            waits.append(ex.stats.wait_s)
+        assert waits[0] == waits[1]
+        other = executor(max_attempts=4, seed=32)
+        other.call(
+            "feed", "app", scripted(TransientServerError("app")), CrawlOutcome("feed")
+        )
+        assert other.stats.wait_s != waits[0]
+
+    def test_breaker_opens_and_cooldown_is_waited_out(self):
+        ex = executor(max_attempts=1, failure_threshold=2, cooldown_s=300.0)
+        for app in ("a", "b"):
+            outcome = CrawlOutcome("summary")
+            ex.call("summary", app, scripted(TransientServerError(app)), outcome)
+        breaker = ex.breaker("summary")
+        assert breaker.state == CircuitBreaker.OPEN
+        # The next call waits out the cooldown, then probes half-open —
+        # and the probe succeeding closes the breaker.
+        waited_before = ex.stats.wait_s
+        outcome = CrawlOutcome("summary")
+        assert ex.call("summary", "c", scripted("payload"), outcome) == "payload"
+        assert ex.stats.wait_s - waited_before >= 300.0
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert outcome.status == OK
+
+    def test_authoritative_answers_count_as_endpoint_health(self):
+        ex = executor(max_attempts=1, failure_threshold=2, cooldown_s=300.0)
+        ex.call(
+            "summary", "a", scripted(TransientServerError("a")), CrawlOutcome("summary")
+        )
+        # An authoritative "removed" proves the endpoint answered.
+        ex.call(
+            "summary", "b", scripted(GraphApiError("b")), CrawlOutcome("summary")
+        )
+        ex.call(
+            "summary", "c", scripted(TransientServerError("c")), CrawlOutcome("summary")
+        )
+        assert ex.breaker("summary").state == CircuitBreaker.CLOSED
+
+    def test_outcome_defaults(self):
+        outcome = CrawlOutcome("install")
+        assert outcome.status == SKIPPED
+        assert not outcome.recovered
+        assert not outcome.transiently_failed

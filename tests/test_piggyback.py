@@ -1,10 +1,6 @@
 """Tests for the piggybacking operation and its downstream signature."""
 
-import numpy as np
-import pytest
 
-from repro.mypagekeeper.classifier import UrlClassifier
-from repro.mypagekeeper.monitor import MyPageKeeper
 
 
 class TestPiggybackInWorld:

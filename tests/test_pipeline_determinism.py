@@ -1,13 +1,18 @@
-"""End-to-end determinism: the whole study is a function of the seed."""
+"""End-to-end determinism: the whole study is a function of the seed.
+
+This includes the faulted study: the fault plan, the retry jitter, and
+every injected failure are derived from the master seed, so a chaos run
+is exactly as reproducible as a fault-free one.
+"""
 
 from repro.config import ScaleConfig
 from repro.core.pipeline import FrappePipeline
 
 
-def _run(seed: int):
-    return FrappePipeline(ScaleConfig(scale=0.01, master_seed=seed)).run(
-        sweep_unlabelled=True
-    )
+def _run(seed: int, fault_rate: float = 0.0):
+    return FrappePipeline(
+        ScaleConfig(scale=0.01, master_seed=seed, fault_rate=fault_rate)
+    ).run(sweep_unlabelled=True)
 
 
 class TestPipelineDeterminism:
@@ -33,3 +38,36 @@ class TestPipelineDeterminism:
         a = _run(1234)
         b = _run(4321)
         assert a.bundle.d_sample_malicious != b.bundle.d_sample_malicious
+
+
+class TestFaultedPipelineDeterminism:
+    """Same seed + same fault plan => the identical degraded study."""
+
+    def test_same_seed_identical_chaos_study(self):
+        a = _run(1234, fault_rate=0.2)
+        b = _run(1234, fault_rate=0.2)
+        assert a.bundle.d_sample_malicious == b.bundle.d_sample_malicious
+        assert a.bundle.d_sample_benign == b.bundle.d_sample_benign
+        assert a.flagged_new == b.flagged_new
+        # The injected faults themselves replay exactly.
+        assert a.transport_stats.requests == b.transport_stats.requests
+        assert a.transport_stats.injected == b.transport_stats.injected
+        assert a.transport_stats.vanished == b.transport_stats.vanished
+        assert a.transport_stats.elapsed_s == b.transport_stats.elapsed_s
+        # Per-collection outcomes agree record by record.
+        for app_id in sorted(a.bundle.d_sample):
+            outcomes_a = a.bundle.records[app_id].outcomes
+            outcomes_b = b.bundle.records[app_id].outcomes
+            assert {c: o.status for c, o in outcomes_a.items()} == {
+                c: o.status for c, o in outcomes_b.items()
+            }
+            assert {c: o.faults for c, o in outcomes_a.items()} == {
+                c: o.faults for c, o in outcomes_b.items()
+            }
+
+    def test_fault_free_study_has_no_fault_machinery_residue(self):
+        result = _run(1234)
+        assert result.cascade is None
+        assert result.transport_stats.fault_count() == 0
+        assert not result.transport_stats.vanished
+        assert result.transport_stats.wait_s == 0.0

@@ -1,6 +1,5 @@
 """Tests for OAuth, the install flow, the Graph API, and moderation."""
 
-import numpy as np
 import pytest
 
 from repro.platform.apps import AppRegistry

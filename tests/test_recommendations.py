@@ -1,6 +1,5 @@
 """Tests for the Sec 7 countermeasure policies."""
 
-import numpy as np
 import pytest
 
 from repro.collusion.appnets import CollusionAnalyzer

@@ -1,7 +1,6 @@
 """Invariant tests over the fully built simulated world."""
 
 import numpy as np
-import pytest
 
 from repro.config import ScaleConfig
 from repro.ecosystem.simulation import run_simulation

@@ -1,6 +1,5 @@
 """Tests for the URL model, WOT, blacklist, redirector, and hosting."""
 
-import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
