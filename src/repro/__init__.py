@@ -23,10 +23,33 @@ Quickstart::
 
     result = FrappePipeline(ScaleConfig(scale=0.02)).run()
     print(result.bundle.table1_rows())
+
+Durability: long crawls are crash-safe.  :class:`CrawlJournal` is a
+write-ahead log — once ``append`` returns, that app's record is on disk
+(written, flushed, fsynced) and survives any process death; killing a
+checkpointed crawl anywhere and resuming it yields records, and an
+exported dataset, byte-identical to an uninterrupted run.
+:func:`atomic_write` is the shared all-or-nothing file write behind the
+journal's snapshots and the dataset export, and :exc:`SimulatedCrash`
+is the injected process death the crash tests kill crawls with::
+
+    from repro import CrawlJournal
+
+    with CrawlJournal("checkpoint/") as journal:
+        records = crawler.crawl_many(app_ids, journal=journal)
 """
 
 from repro.config import PAPER, PaperStats, ScaleConfig
+from repro.crawler.checkpoint import CrawlJournal, SimulatedCrash, atomic_write
 
 __version__ = "1.0.0"
 
-__all__ = ["PAPER", "PaperStats", "ScaleConfig", "__version__"]
+__all__ = [
+    "PAPER",
+    "PaperStats",
+    "ScaleConfig",
+    "CrawlJournal",
+    "SimulatedCrash",
+    "atomic_write",
+    "__version__",
+]

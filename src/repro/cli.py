@@ -12,6 +12,13 @@ Commands
 ``--fault-rate`` / ``--retry-budget`` apply to every command (all
 crawling runs through the configured transport); ``crawl`` also accepts
 them after the subcommand for convenience.
+
+``--checkpoint DIR`` makes every crawl crash-safe: completed records go
+to a write-ahead journal in DIR, and re-running the same configuration
+with ``--resume`` skips the durable apps and continues — kill the
+process anywhere and the resumed study is byte-identical to an
+uninterrupted one.  Without ``--resume`` an existing checkpoint is
+refused (not silently overwritten or mixed).
 """
 
 from __future__ import annotations
@@ -45,6 +52,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--retry-budget", type=int, default=4,
         help="crawl attempts per request before giving up (default 4)",
     )
+    parser.add_argument(
+        "--checkpoint", metavar="DIR", default=None,
+        help="journal crawl progress to DIR (write-ahead log + atomic "
+             "snapshots) so a killed run can be resumed",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="journal appends between snapshot compactions (default 64)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue the crawl from an existing --checkpoint DIR",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("simulate", help="build a world and summarise it")
@@ -63,6 +83,18 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument(
         "--retry-budget", type=int, default=argparse.SUPPRESS,
         help="override the global --retry-budget",
+    )
+    crawl.add_argument(
+        "--checkpoint", metavar="DIR", default=argparse.SUPPRESS,
+        help="override the global --checkpoint",
+    )
+    crawl.add_argument(
+        "--checkpoint-every", type=int, default=argparse.SUPPRESS,
+        help="override the global --checkpoint-every",
+    )
+    crawl.add_argument(
+        "--resume", action="store_true", default=argparse.SUPPRESS,
+        help="override the global --resume",
     )
 
     evaluate = sub.add_parser("evaluate", help="watchdog over app IDs")
@@ -85,6 +117,9 @@ def _config(args: argparse.Namespace) -> ScaleConfig:
         master_seed=args.seed,
         fault_rate=args.fault_rate,
         retry_budget=args.retry_budget,
+        checkpoint_dir=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
     )
 
 
@@ -137,7 +172,14 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_crawl(args: argparse.Namespace) -> int:
-    """Crawl D-Sample through the configured transport; print outcomes."""
+    """Crawl D-Sample through the configured transport; print outcomes.
+
+    With ``--checkpoint DIR`` the crawl is crash-safe (kill it anywhere,
+    re-run with ``--resume``, get byte-identical results).  Replay
+    progress goes to stderr so stdout stays comparable across resumed
+    and uninterrupted runs.
+    """
+    from repro.crawler.checkpoint import CrawlJournal
     from repro.crawler.crawler import make_crawler
     from repro.crawler.datasets import DatasetBuilder
     from repro.ecosystem.simulation import run_simulation
@@ -151,7 +193,24 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     ).scan()
     bundle = DatasetBuilder(world, report).build(crawl=False)
     crawler = make_crawler(world)
-    records = crawler.crawl_many(bundle.d_sample)
+    journal = None
+    if config.checkpoint_dir:
+        journal = CrawlJournal(
+            config.checkpoint_dir,
+            snapshot_every=config.checkpoint_every,
+            resume=config.resume,
+        )
+        durable = sum(1 for a in bundle.d_sample if a in journal)
+        print(
+            f"checkpoint: {config.checkpoint_dir} "
+            f"({durable}/{len(bundle.d_sample)} apps already durable)",
+            file=sys.stderr,
+        )
+    try:
+        records = crawler.crawl_many(bundle.d_sample, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
 
     stats = crawler.stats
     print(f"crawled {len(records)} apps at fault_rate={config.fault_rate} "

@@ -201,6 +201,14 @@ class ScaleConfig:
     fault_rate: float = 0.0
     #: crawl attempts per request before the crawler gives up
     retry_budget: int = 4
+    #: directory for the crash-safe crawl checkpoint (write-ahead journal
+    #: + atomic snapshots); ``None`` disables checkpointing entirely and
+    #: the pipeline behaves bit-identically to a journal-less run
+    checkpoint_dir: str | None = None
+    #: journal appends between snapshot compactions
+    checkpoint_every: int = 64
+    #: continue an existing checkpoint instead of refusing to touch it
+    resume: bool = False
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1.0:
@@ -212,6 +220,10 @@ class ScaleConfig:
         if self.retry_budget < 1:
             raise ValueError(
                 f"retry_budget must be >= 1, got {self.retry_budget}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
             )
         if self.post_scale is None:
             # Posts outnumber apps ~800:1 in the paper; keep laptop runs

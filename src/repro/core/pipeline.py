@@ -25,6 +25,7 @@ from repro.config import ScaleConfig
 from repro.core.features import FeatureExtractor
 from repro.core.frappe import FrappeCascade, FrappeClassifier, frappe
 from repro.core.validation import FlagValidator, ValidationResult
+from repro.crawler.checkpoint import CrawlJournal
 from repro.crawler.crawler import AppCrawler, CrawlRecord, make_crawler
 from repro.crawler.datasets import DatasetBuilder, DatasetBundle
 from repro.ecosystem.params import GenerationParams
@@ -93,14 +94,49 @@ class FrappePipeline:
     def run_on_world(
         self, world: SimulatedWorld, sweep_unlabelled: bool = True
     ) -> PipelineResult:
-        """Run the measurement chain over an already built world."""
+        """Run the measurement chain over an already built world.
+
+        With ``ScaleConfig.checkpoint_dir`` set, all crawling (D-Sample
+        and the unlabelled sweep) runs against one crash-safe
+        :class:`~repro.crawler.checkpoint.CrawlJournal`: kill the
+        process anywhere, re-run the same configuration with
+        ``resume=True``, and the study completes with records — and an
+        exported dataset — byte-identical to an uninterrupted run.
+        With ``checkpoint_dir=None`` the pipeline is bit-identical to a
+        journal-less build.
+        """
+        journal = self._open_journal(world)
+        try:
+            return self._run_on_world(world, sweep_unlabelled, journal)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    def _open_journal(self, world: SimulatedWorld) -> CrawlJournal | None:
+        config = world.config
+        if not config.checkpoint_dir:
+            return None
+        return CrawlJournal(
+            config.checkpoint_dir,
+            snapshot_every=config.checkpoint_every,
+            resume=config.resume,
+        )
+
+    def _run_on_world(
+        self,
+        world: SimulatedWorld,
+        sweep_unlabelled: bool,
+        journal: CrawlJournal | None,
+    ) -> PipelineResult:
         url_classifier = UrlClassifier(world.services.blacklist)
         report = MyPageKeeper(url_classifier, world.post_log).scan()
         # One crawler (hence one transport and fault state) serves both
         # the D-Sample crawl and the unlabelled sweep, so the stats
         # describe the whole study and a mid-crawl deletion stays gone.
         crawler = make_crawler(world)
-        bundle = DatasetBuilder(world, report).build(crawl=True, crawler=crawler)
+        bundle = DatasetBuilder(world, report).build(
+            crawl=True, crawler=crawler, journal=journal
+        )
         extractor = self.make_extractor(world, bundle)
 
         records, labels = [], []
@@ -125,7 +161,7 @@ class FrappePipeline:
             transport_stats=crawler.stats,
         )
         if sweep_unlabelled:
-            self._sweep_unlabelled(result, crawler)
+            self._sweep_unlabelled(result, crawler, journal)
         return result
 
     @staticmethod
@@ -154,7 +190,10 @@ class FrappePipeline:
         )
 
     def _sweep_unlabelled(
-        self, result: PipelineResult, crawler: AppCrawler
+        self,
+        result: PipelineResult,
+        crawler: AppCrawler,
+        journal: CrawlJournal | None = None,
     ) -> None:
         """Apply FRAppE to every D-Total app outside D-Sample (Sec 5.3).
 
@@ -163,7 +202,9 @@ class FrappePipeline:
         their surviving collections support instead of by imputed zeros.
         """
         unlabelled = result.bundle.d_total - result.bundle.d_sample
-        result.unlabelled_records = crawler.crawl_many(unlabelled)
+        result.unlabelled_records = crawler.crawl_many(
+            unlabelled, journal=journal
+        )
         ordered = sorted(result.unlabelled_records)
         records = [result.unlabelled_records[a] for a in ordered]
         if records:

@@ -10,7 +10,12 @@ datasets (Table 1).
 Crawls run through a transport layer that may inject faults
 (:mod:`repro.platform.transport`); :mod:`repro.crawler.resilience`
 provides the retry/backoff policy, circuit breakers, and per-collection
-outcome records the crawler uses to survive them.
+outcome records the crawler uses to survive them, and
+:mod:`repro.crawler.checkpoint` makes the whole crawl crash-safe: a
+write-ahead :class:`CrawlJournal` (an app is *durable* — survives any
+process kill — once its journal line is written, flushed, and fsynced),
+atomic snapshots via :func:`atomic_write`, and kill-anywhere resume
+with crash injection (:class:`CrashPlan` / :exc:`SimulatedCrash`).
 """
 
 from repro.crawler.socialbakers import SocialBakers
@@ -32,8 +37,19 @@ from repro.crawler.resilience import (
     ResilientExecutor,
     RetryPolicy,
 )
+# checkpoint imports crawler.crawler, so it must come after it here.
+from repro.crawler.checkpoint import (
+    CrashPlan,
+    CrawlJournal,
+    SimulatedCrash,
+    atomic_write,
+)
 
 __all__ = [
+    "CrawlJournal",
+    "CrashPlan",
+    "SimulatedCrash",
+    "atomic_write",
     "SocialBakers",
     "AppCrawler",
     "CrawlRecord",

@@ -1,0 +1,623 @@
+"""Crash-safe crawl persistence: write-ahead journal, snapshots, resume.
+
+The paper's dataset is the product of a nine-month continuously running
+crawl — a process that inevitably died and restarted many times.  PR 1
+made the crawler survive the *network* failing; this module makes it
+survive the *process* failing:
+
+* :func:`atomic_write` — the shared all-or-nothing file write (tmp file
+  + fsync + ``os.replace``) every persistent artifact goes through,
+* :class:`CrawlJournal` — an append-only JSONL write-ahead log.  Each
+  completed :class:`~repro.crawler.crawler.CrawlRecord` is one
+  self-delimiting, per-line-checksummed entry carrying the full record
+  *and* the transport/executor state needed to continue the crawl
+  deterministically.  Periodically the journal compacts into a single
+  checksummed snapshot file,
+* :class:`CrashPlan` / :exc:`SimulatedCrash` — seeded crash injection
+  at configurable points inside the crawl loop, including *between*
+  journal write and flush (the torn-write window).
+
+Durability contract
+-------------------
+An app is **durable** once ``CrawlJournal.append`` returns: its journal
+line has been written, flushed, and ``fsync``\\ ed, so a process kill or
+OS crash after that point cannot lose it (subject to the device
+honouring fsync).  A crash *before* that point loses at most the app
+being crawled; :meth:`AppCrawler.crawl_many
+<repro.crawler.crawler.AppCrawler.crawl_many>` re-crawls it on resume
+from journaled state, making the resumed run byte-identical to an
+uninterrupted one.
+
+Corruption policy
+-----------------
+A torn *final* journal line is the expected crash artifact and is
+silently truncated.  A checksum-mismatched *interior* line is moved to
+a ``.corrupt`` sidecar with a warning and its app is re-crawled — never
+a crash, never silent acceptance.
+"""
+
+from __future__ import annotations
+
+import json
+import hashlib
+import logging
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.crawler.crawler import COLLECTIONS, CrawlRecord
+from repro.crawler.resilience import CrawlOutcome
+from repro.rng import derive_seed
+
+__all__ = [
+    "atomic_write",
+    "SimulatedCrash",
+    "CrashPlan",
+    "CrawlJournal",
+    "BEFORE_APP",
+    "AFTER_CRAWL",
+    "MID_APPEND",
+    "AFTER_APPEND",
+    "CRASH_POINTS",
+    "record_to_jsonable",
+    "record_from_jsonable",
+]
+
+logger = logging.getLogger(__name__)
+
+
+def atomic_write(path: str | Path, data: str | bytes) -> Path:
+    """Write *data* to *path* all-or-nothing.
+
+    The data goes to a temporary file in the same directory, is flushed
+    and ``fsync``\\ ed, and only then renamed over *path* with
+    ``os.replace`` — so readers (and crash recovery) see either the old
+    complete file or the new complete file, never a torn mixture.  The
+    directory entry is fsynced best-effort afterwards.
+    """
+    path = Path(path)
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:  # directory fsync makes the rename itself durable (best-effort)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    return path
+
+
+# -- crash injection --------------------------------------------------------
+
+
+class SimulatedCrash(BaseException):
+    """The process 'dies' here: an injected crash inside the crawl loop.
+
+    Derives from :class:`BaseException` (like ``KeyboardInterrupt``) so
+    no ordinary ``except Exception`` recovery path can accidentally
+    swallow a simulated process death — the whole point is that nothing
+    between the crash point and the journal gets a chance to clean up.
+    """
+
+
+#: crash before the app's crawl starts (nothing observed yet)
+BEFORE_APP = "before_app"
+#: crash after the crawl, before anything reaches the journal
+AFTER_CRAWL = "after_crawl"
+#: crash between journal write and flush — leaves a torn final line
+MID_APPEND = "mid_append"
+#: crash right after the record became durable
+AFTER_APPEND = "after_append"
+
+CRASH_POINTS = (BEFORE_APP, AFTER_CRAWL, MID_APPEND, AFTER_APPEND)
+
+
+@dataclass
+class CrashPlan:
+    """Raise :exc:`SimulatedCrash` at one configurable crawl-loop point.
+
+    ``app_index`` counts the apps *freshly crawled by this process* (the
+    resume loop skips replayed apps), so a plan targets "the k-th app
+    this incarnation works on".  A plan fires at most once; after the
+    crash is raised, ``fired`` stays true and the plan is inert.
+    """
+
+    app_index: int
+    point: str = MID_APPEND
+    fired: bool = field(default=False, init=False)
+    _started: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.point not in CRASH_POINTS:
+            raise ValueError(
+                f"unknown crash point {self.point!r}; one of {CRASH_POINTS}"
+            )
+        if self.app_index < 0:
+            raise ValueError(f"app_index must be >= 0, got {self.app_index}")
+
+    @classmethod
+    def random(cls, seed: int, n_apps: int) -> "CrashPlan":
+        """A seeded plan crashing at a random (app, point) pair."""
+        rng = np.random.default_rng(derive_seed(seed, "crash-plan"))
+        index = int(rng.integers(0, max(1, n_apps)))
+        point = CRASH_POINTS[int(rng.integers(0, len(CRASH_POINTS)))]
+        return cls(app_index=index, point=point)
+
+    def advance(self) -> None:
+        """Move to the next app slot (called once per freshly crawled app)."""
+        self._started += 1
+
+    def due(self, point: str) -> bool:
+        """Would the plan crash at *point* of the current app?"""
+        return (
+            not self.fired
+            and point == self.point
+            and self._started - 1 == self.app_index
+        )
+
+    def check(self, point: str) -> None:
+        """Crash here if the plan says so."""
+        if self.due(point):
+            self.fired = True
+            raise SimulatedCrash(
+                f"injected crash at {point!r} of app #{self.app_index}"
+            )
+
+
+# -- record (de)serialisation ----------------------------------------------
+#
+# Unlike the dataset export (repro.io), the journal must be *lossless*:
+# resume replays these records into feature extraction, so profile posts
+# are kept in full, not reduced to a count.
+
+
+def record_to_jsonable(record: CrawlRecord) -> dict[str, Any]:
+    """A lossless, JSON-serialisable image of one crawl record."""
+    return {
+        "app_id": record.app_id,
+        "summary_ok": bool(record.summary_ok),
+        "name": record.name,
+        "description": record.description,
+        "company": record.company,
+        "category": record.category,
+        "mau_observations": [int(v) for v in record.mau_observations],
+        "feed_ok": bool(record.feed_ok),
+        "profile_posts": [
+            {
+                "message": str(post["message"]),
+                "link": post["link"],
+                "created_time": int(post["created_time"]),
+                "from": int(post["from"]),
+            }
+            for post in record.profile_posts
+        ],
+        "inst_ok": bool(record.inst_ok),
+        "permissions": list(record.permissions),
+        "observed_client_id": record.observed_client_id,
+        "redirect_uri": record.redirect_uri,
+        "outcomes": {
+            collection: {
+                "status": outcome.status,
+                "attempts": int(outcome.attempts),
+                "faults": list(outcome.faults),
+                "elapsed_s": float(outcome.elapsed_s),
+            }
+            for collection, outcome in record.outcomes.items()
+        },
+    }
+
+
+def record_from_jsonable(data: dict[str, Any]) -> CrawlRecord:
+    """The inverse of :func:`record_to_jsonable`.
+
+    Outcomes are rebuilt in crawl order (summary, feed, install): the
+    journal's canonical encoding sorts object keys, but a replayed
+    record must be indistinguishable from a freshly crawled one — down
+    to dict iteration order, which the dataset export serialises.
+    """
+    stored = data.get("outcomes", {})
+    ordered = [c for c in COLLECTIONS if c in stored]
+    ordered += [c for c in stored if c not in COLLECTIONS]
+    return CrawlRecord(
+        app_id=data["app_id"],
+        summary_ok=bool(data["summary_ok"]),
+        name=data.get("name"),
+        description=data.get("description", ""),
+        company=data.get("company", ""),
+        category=data.get("category", ""),
+        mau_observations=[int(v) for v in data.get("mau_observations", [])],
+        feed_ok=bool(data["feed_ok"]),
+        profile_posts=[dict(post) for post in data.get("profile_posts", [])],
+        inst_ok=bool(data["inst_ok"]),
+        permissions=tuple(data.get("permissions", ())),
+        observed_client_id=data.get("observed_client_id"),
+        redirect_uri=data.get("redirect_uri"),
+        outcomes={
+            collection: CrawlOutcome(
+                collection=collection,
+                status=stored[collection]["status"],
+                attempts=int(stored[collection]["attempts"]),
+                faults=list(stored[collection]["faults"]),
+                elapsed_s=float(stored[collection]["elapsed_s"]),
+            )
+            for collection in ordered
+        },
+    )
+
+
+# -- line / snapshot encoding ----------------------------------------------
+
+_LINE_VERSION = 1
+
+
+def _canonical(payload: dict) -> bytes:
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def _encode_line(payload: dict) -> bytes:
+    body = _canonical(payload)
+    digest = hashlib.sha256(body).hexdigest().encode("ascii")
+    return digest + b"\t" + body + b"\n"
+
+
+def _decode_line(line: bytes) -> dict | None:
+    """Parse one journal line; ``None`` if torn or checksum-mismatched."""
+    try:
+        digest, body = line.split(b"\t", 1)
+    except ValueError:
+        return None
+    if len(digest) != 64:
+        return None
+    if hashlib.sha256(body).hexdigest().encode("ascii") != digest:
+        return None
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(payload, dict) or "app_id" not in payload:
+        return None
+    return payload
+
+
+class CrawlJournal:
+    """Write-ahead log + snapshot making a crawl kill-anywhere resumable.
+
+    One directory holds everything:
+
+    ``journal.jsonl``
+        One checksummed line per durable app: the full crawl record plus
+        the crawler state *after* that app (transport clock, fault-plan
+        bookkeeping, breaker states, installer RNG).
+    ``snapshot.json``
+        Periodic compaction of the journal (every ``snapshot_every``
+        appends) into one checksummed file, written atomically; the
+        journal restarts empty afterwards.
+    ``meta.json``
+        The configuration fingerprint the journal was written under;
+        resuming with a different configuration is refused loudly.
+    ``journal.jsonl.corrupt`` / ``snapshot.json.corrupt``
+        Quarantine sidecars for checksum-mismatched entries.
+
+    ``append()`` returning *is* the durability point: line written,
+    flushed, fsynced.  See the module docstring for the full contract.
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+    SNAPSHOT_NAME = "snapshot.json"
+    META_NAME = "meta.json"
+
+    def __init__(
+        self,
+        directory: str | Path,
+        snapshot_every: int = 64,
+        resume: bool = True,
+    ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_every = snapshot_every
+        #: app_id -> jsonable record, in durability order
+        self._records: dict[str, dict] = {}
+        self._state: dict | None = None
+        self._since_compact = 0
+        #: apps whose journal lines were quarantined at open (best-effort
+        #: identification: a corrupt line may not name its app at all)
+        self.quarantined: tuple[str, ...] = ()
+        #: was a torn final line truncated at open?
+        self.truncated_torn_line = False
+        if not resume and self._has_data():
+            raise FileExistsError(
+                f"checkpoint directory {self.directory} already holds crawl "
+                "data; pass resume=True (CLI: --resume) to continue it, or "
+                "point --checkpoint at a fresh directory"
+            )
+        self._sweep_tmp_files()
+        self._load()
+        self._fh = open(self.journal_path, "ab")
+
+    # -- paths ------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> Path:
+        return self.directory / self.JOURNAL_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.directory / self.SNAPSHOT_NAME
+
+    @property
+    def meta_path(self) -> Path:
+        return self.directory / self.META_NAME
+
+    def _has_data(self) -> bool:
+        return any(
+            p.exists() and p.stat().st_size > 0
+            for p in (self.journal_path, self.snapshot_path)
+        )
+
+    def _sweep_tmp_files(self) -> None:
+        """Remove half-written ``*.tmp`` leftovers of interrupted writes."""
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                tmp.unlink()
+            except OSError:  # pragma: no cover - racy cleanup
+                pass
+
+    # -- loading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        self._load_snapshot()
+        self._load_journal()
+
+    def _load_snapshot(self) -> None:
+        path = self.snapshot_path
+        if not path.exists():
+            return
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            payload = doc["payload"]
+            if hashlib.sha256(_canonical(payload)).hexdigest() != doc["sha256"]:
+                raise ValueError("snapshot checksum mismatch")
+            records = {e["app_id"]: e for e in payload["records"]}
+            state = payload["state"]
+        except (KeyError, TypeError, ValueError, UnicodeDecodeError) as err:
+            corrupt = path.with_name(path.name + ".corrupt")
+            os.replace(path, corrupt)
+            logger.warning(
+                "quarantined corrupt snapshot %s -> %s (%s); its apps will "
+                "be re-crawled", path, corrupt, err,
+            )
+            return
+        self._records.update(records)
+        self._state = state
+
+    def _load_journal(self) -> None:
+        path = self.journal_path
+        if not path.exists():
+            return
+        raw = path.read_bytes()
+        if not raw:
+            return
+        pieces = raw.split(b"\n")
+        tail = pieces.pop()  # b"" when the file ends with a newline
+        torn = bool(tail)
+        good: list[tuple[bytes, dict]] = []
+        bad: list[bytes] = []
+        for index, piece in enumerate(pieces):
+            payload = _decode_line(piece)
+            if payload is None:
+                if index == len(pieces) - 1:
+                    # A corrupt *final* line is the torn-write artifact
+                    # of a crash mid-append: truncate it silently.
+                    torn = True
+                else:
+                    bad.append(piece)
+                continue
+            good.append((piece, payload))
+        for _, payload in good:
+            self._records[payload["app_id"]] = payload["record"]
+        if good:
+            self._state = good[-1][1]["state"]
+        self._since_compact = len(good)
+        if bad:
+            self._quarantine_lines(bad)
+        if bad or torn:
+            # Rewrite the journal to exactly the surviving lines so the
+            # damage is handled once, not re-discovered on every open.
+            atomic_write(path, b"".join(piece + b"\n" for piece, _ in good))
+            self.truncated_torn_line = torn
+
+    def _quarantine_lines(self, lines: list[bytes]) -> None:
+        corrupt_path = self.journal_path.with_name(
+            self.JOURNAL_NAME + ".corrupt"
+        )
+        with open(corrupt_path, "ab") as sidecar:
+            for line in lines:
+                sidecar.write(line + b"\n")
+        claimed = []
+        for line in lines:
+            try:  # best-effort: name the app if the payload still parses
+                _, body = line.split(b"\t", 1)
+                claimed.append(str(json.loads(body)["app_id"]))
+            except Exception:  # noqa: BLE001 - corrupt by definition
+                claimed.append("<unidentifiable>")
+        self.quarantined = tuple(claimed)
+        # The final journaled state may still carry the quarantined apps'
+        # per-app fault bookkeeping; drop it so their re-crawl starts from
+        # call index 0, like any fresh crawl.
+        known = {c for c in claimed if c != "<unidentifiable>"}
+        if known and self._state is not None:
+            transport = self._state.get("transport", {})
+            transport["call_index"] = [
+                entry
+                for entry in transport.get("call_index", [])
+                if entry[1] not in known
+            ]
+            transport["vanished"] = [
+                a for a in transport.get("vanished", []) if a not in known
+            ]
+        logger.warning(
+            "quarantined %d corrupt journal line(s) in %s to sidecar "
+            "%s (apps: %s); they will be re-crawled",
+            len(lines), self.journal_path, corrupt_path, ", ".join(claimed),
+        )
+
+    # -- replay API --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, app_id: str) -> bool:
+        return app_id in self._records
+
+    @property
+    def records(self) -> dict[str, CrawlRecord]:
+        """Durable records, decoded fresh (callers may mutate them)."""
+        return {
+            app_id: record_from_jsonable(data)
+            for app_id, data in self._records.items()
+        }
+
+    @property
+    def state(self) -> dict | None:
+        """The crawler state after the last durable app (``None`` if empty)."""
+        return self._state
+
+    # -- configuration fingerprint ----------------------------------------
+
+    def validate_fingerprint(self, fingerprint: dict) -> None:
+        """Refuse to mix crawls from different configurations.
+
+        The first crawl stamps ``meta.json`` with its fingerprint (seed,
+        scale, fault plan, retry policy); later opens must match it, or
+        resuming would silently splice records from incompatible runs.
+        """
+        stored = None
+        if self.meta_path.exists():
+            try:
+                stored = json.loads(
+                    self.meta_path.read_text(encoding="utf-8")
+                ).get("fingerprint")
+            except (ValueError, UnicodeDecodeError):
+                logger.warning(
+                    "checkpoint meta %s is corrupt; rewriting it from the "
+                    "current configuration", self.meta_path,
+                )
+        if stored is not None:
+            if stored != fingerprint:
+                raise ValueError(
+                    f"checkpoint at {self.directory} was written under a "
+                    f"different configuration.\n  stored:  {stored}\n"
+                    f"  current: {fingerprint}\nResume with the original "
+                    "settings, or start a fresh --checkpoint directory."
+                )
+            return
+        atomic_write(
+            self.meta_path,
+            json.dumps(
+                {"format_version": 1, "fingerprint": fingerprint},
+                indent=1,
+                sort_keys=True,
+            ),
+        )
+
+    # -- writing -----------------------------------------------------------
+
+    def append(
+        self, record: CrawlRecord, state: dict, tear: bool = False
+    ) -> None:
+        """Make *record* durable; the crawler state rides along.
+
+        When this returns, the line is on disk (written + flushed +
+        fsynced) — the app counts as done across any crash.  ``tear``
+        simulates a crash in the write/flush window: a prefix of the
+        line is written and :exc:`SimulatedCrash` raised, producing
+        exactly the torn-final-line artifact resume must absorb.
+        """
+        if self._fh is None:
+            raise RuntimeError("journal is closed")
+        payload = {
+            "v": _LINE_VERSION,
+            "app_id": record.app_id,
+            "record": record_to_jsonable(record),
+            "state": state,
+        }
+        line = _encode_line(payload)
+        if tear:
+            self._fh.write(line[: max(1, 2 * len(line) // 3)])
+            self._fh.flush()
+            raise SimulatedCrash(
+                f"injected crash mid-append of {record.app_id} "
+                "(torn journal line)"
+            )
+        self._fh.write(line)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._records[record.app_id] = payload["record"]
+        self._state = state
+        self._since_compact += 1
+        if self._since_compact >= self.snapshot_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Fold journal + previous snapshot into one atomic snapshot file.
+
+        Crash-safe at every step: the snapshot is written via
+        :func:`atomic_write` first, and only then is the journal
+        truncated.  A crash between the two leaves duplicate entries,
+        which the loader resolves (journal lines win, identically).
+        """
+        if self._state is None:
+            return
+        payload = {
+            "format_version": 1,
+            "records": list(self._records.values()),
+            "state": self._state,
+            "count": len(self._records),
+        }
+        doc = {
+            "sha256": hashlib.sha256(_canonical(payload)).hexdigest(),
+            "payload": payload,
+        }
+        atomic_write(self.snapshot_path, json.dumps(doc))
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = open(self.journal_path, "wb")  # truncate: snapshot owns it
+        self._since_compact = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CrawlJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -47,6 +47,7 @@ from repro.platform.transport import (
 from repro.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crawler.checkpoint import CrashPlan, CrawlJournal
     from repro.ecosystem.simulation import SimulatedWorld
 
 __all__ = [
@@ -176,8 +177,102 @@ class AppCrawler:
         self._crawl_install_url(record, deadline_at)
         return record
 
-    def crawl_many(self, app_ids: list[str] | set[str]) -> dict[str, CrawlRecord]:
-        return {app_id: self.crawl_app(app_id) for app_id in sorted(app_ids)}
+    def crawl_many(
+        self,
+        app_ids: list[str] | set[str],
+        journal: "CrawlJournal | None" = None,
+        crash_plan: "CrashPlan | None" = None,
+    ) -> dict[str, CrawlRecord]:
+        """Crawl *app_ids* in sorted order, optionally crash-safely.
+
+        With a :class:`~repro.crawler.checkpoint.CrawlJournal`, every
+        completed record is made durable (written, flushed, fsynced)
+        before the next app starts, and apps already durable in the
+        journal are *replayed* instead of re-crawled: the crawler state
+        (transport clock, fault bookkeeping, breakers, installer RNG)
+        is restored from the journal first, so interrupting anywhere and
+        resuming yields records byte-identical to an uninterrupted run.
+
+        *crash_plan* injects a :class:`SimulatedCrash` at a configured
+        point of the loop (crash-injection tests); ``None`` means never.
+        """
+        records: dict[str, CrawlRecord] = {}
+        pending: list[str] = []
+        if journal is None:
+            pending = sorted(app_ids)
+        else:
+            journal.validate_fingerprint(self.checkpoint_fingerprint())
+            replayed = journal.records
+            for app_id in sorted(app_ids):
+                if app_id in replayed:
+                    records[app_id] = replayed[app_id]
+                else:
+                    pending.append(app_id)
+            if journal.state is not None:
+                self.restore_state(journal.state)
+        for app_id in pending:
+            if crash_plan is not None:
+                crash_plan.advance()
+                crash_plan.check("before_app")
+            record = self.crawl_app(app_id)
+            if crash_plan is not None:
+                crash_plan.check("after_crawl")
+            if journal is not None:
+                tear = crash_plan is not None and crash_plan.due("mid_append")
+                if tear:
+                    crash_plan.fired = True
+                journal.append(record, self.snapshot_state(), tear=tear)
+                if crash_plan is not None:
+                    crash_plan.check("after_append")
+            records[app_id] = record
+        return records
+
+    # -- checkpoint support -----------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """The crawler's continuation state (JSON-serialisable).
+
+        Everything the next request's behaviour can depend on: the
+        transport (simulated clock, fault-plan call indexes, vanished
+        apps, installer RNG position) and the per-endpoint circuit
+        breakers.  Retry jitter needs no capture — it is derived
+        statelessly per ``(endpoint, app, attempt)``.
+        """
+        return {
+            "transport": self._transport.snapshot_state(),
+            "breakers": self._executor.snapshot_breakers(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a :meth:`snapshot_state` image, in place."""
+        self._transport.restore_state(state["transport"])
+        self._executor.restore_breakers(state["breakers"])
+
+    def checkpoint_fingerprint(self) -> dict:
+        """What a checkpoint must match before this crawler resumes it.
+
+        Seed, scale, transport kind, fault plan, and retry policy — the
+        knobs that change what an identical crawl would observe.
+        """
+        config = self._world.config
+        fingerprint: dict = {
+            "master_seed": config.master_seed,
+            "scale": config.scale,
+            "transport": type(self._transport).__name__,
+            "retry_policy": {
+                "max_attempts": self._policy.max_attempts,
+                "base_delay_s": self._policy.base_delay_s,
+                "max_delay_s": self._policy.max_delay_s,
+                "per_app_deadline_s": self._policy.per_app_deadline_s,
+            },
+        }
+        plan = getattr(self._transport, "plan", None)
+        if plan is not None:
+            fingerprint["fault_plan"] = {
+                "fault_rate": plan.fault_rate,
+                "seed": plan.seed,
+            }
+        return fingerprint
 
     # -- individual collections ------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.crawler.crawler import AppCrawler, CrawlRecord
 from repro.mypagekeeper.monitor import AppLabeler, MonitorReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.crawler.checkpoint import CrawlJournal
     from repro.ecosystem.simulation import SimulatedWorld
 
 __all__ = ["DatasetBundle", "DatasetBuilder"]
@@ -113,12 +114,18 @@ class DatasetBuilder:
         self._whitelist_top_fraction = whitelist_top_fraction
 
     def build(
-        self, crawl: bool = True, crawler: AppCrawler | None = None
+        self,
+        crawl: bool = True,
+        crawler: AppCrawler | None = None,
+        journal: "CrawlJournal | None" = None,
     ) -> DatasetBundle:
         """Assemble the bundle, optionally crawling D-Sample.
 
         Pass *crawler* to crawl through a configured transport (fault
         injection, retry policy); the default is a fault-free crawler.
+        Pass *journal* to make the crawl crash-safe: completed records
+        become durable as they land and a rebuilt builder resumes from
+        them (see :mod:`repro.crawler.checkpoint`).
         """
         d_total = self._labeler.observed_app_ids()
         whitelist = self._build_whitelist(d_total)
@@ -133,7 +140,7 @@ class DatasetBuilder:
         )
         if crawl:
             crawler = crawler or AppCrawler(self._world)
-            bundle.records = crawler.crawl_many(bundle.d_sample)
+            bundle.records = crawler.crawl_many(bundle.d_sample, journal=journal)
         return bundle
 
     def _build_whitelist(self, d_total: set[str]) -> set[str]:

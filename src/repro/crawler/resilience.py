@@ -139,6 +139,22 @@ class CircuitBreaker:
             self._opened_at = now_s
             self._consecutive_failures = 0
 
+    # -- checkpoint support -----------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The breaker's dynamic state (for crawl checkpoints)."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "opened_at": self._opened_at,
+        }
+
+    def restore(self, data: dict) -> None:
+        """Restore dynamic state captured by :meth:`snapshot`, in place."""
+        self.state = data["state"]
+        self._consecutive_failures = int(data["consecutive_failures"])
+        self._opened_at = float(data["opened_at"])
+
 
 @dataclass
 class CrawlOutcome:
@@ -192,6 +208,24 @@ class ResilientExecutor:
         if endpoint not in self.breakers:
             self.breakers[endpoint] = CircuitBreaker()
         return self.breakers[endpoint]
+
+    # -- checkpoint support -----------------------------------------------
+    #
+    # Breakers carry *cross-app* state (consecutive failures on one app
+    # open the breaker for the next), so kill-anywhere resume must put
+    # them back exactly where the interrupted run left them.
+
+    def snapshot_breakers(self) -> dict[str, dict]:
+        """Per-endpoint breaker states, JSON-serialisable."""
+        return {
+            endpoint: breaker.snapshot()
+            for endpoint, breaker in sorted(self.breakers.items())
+        }
+
+    def restore_breakers(self, data: dict[str, dict]) -> None:
+        """Restore breaker states captured by :meth:`snapshot_breakers`."""
+        for endpoint, state in data.items():
+            self.breaker(endpoint).restore(state)
 
     def call(
         self,

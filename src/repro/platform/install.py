@@ -113,3 +113,18 @@ class InstallationService:
 
     def install_count(self, app_id: str) -> int:
         return self._install_counts.get(app_id, 0)
+
+    # -- checkpoint support -----------------------------------------------
+    #
+    # Install-URL visits *draw* from this service's RNG (client-ID
+    # rotation), so a crash-resumed crawl must restore the stream to the
+    # exact position the interrupted run reached; otherwise every later
+    # colluding app would observe a different client ID.
+
+    def rng_state(self) -> dict:
+        """The RNG position as a JSON-serialisable dict."""
+        return self._rng.bit_generator.state
+
+    def restore_rng_state(self, state: dict) -> None:
+        """Reposition the RNG to a :meth:`rng_state` image."""
+        self._rng.bit_generator.state = state

@@ -236,6 +236,30 @@ class TransportStats:
     def fault_count(self) -> int:
         return sum(self.injected.values())
 
+    # -- checkpoint support -----------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serialisable image of the accounting (for checkpoints)."""
+        return {
+            "requests": self.requests,
+            "injected": dict(self.injected),
+            "truncated_feeds": self.truncated_feeds,
+            "service_s": self.service_s,
+            "wait_s": self.wait_s,
+            "vanished": sorted(self.vanished),
+        }
+
+    def restore(self, data: dict[str, Any]) -> None:
+        """Restore accounting from a :meth:`snapshot` image, in place."""
+        self.requests = int(data["requests"])
+        self.injected = Counter(
+            {kind: int(count) for kind, count in data["injected"].items()}
+        )
+        self.truncated_feeds = int(data["truncated_feeds"])
+        self.service_s = float(data["service_s"])
+        self.wait_s = float(data["wait_s"])
+        self.vanished = set(data["vanished"])
+
 
 # -- transports ------------------------------------------------------------
 
@@ -264,6 +288,25 @@ class DirectTransport:
     def _account(self) -> None:
         self.stats.requests += 1
         self.stats.add_service(self._base_latency_s)
+
+    # -- checkpoint support -----------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """Everything needed to continue this transport deterministically.
+
+        Includes the installer's RNG state: the install URL of a
+        colluding app *draws* which sibling's client ID it hands out, so
+        a resumed crawl must continue that stream exactly where the
+        interrupted run left it.
+        """
+        return {
+            "stats": self.stats.snapshot(),
+            "installer_rng": self._installer.rng_state(),
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.stats.restore(state["stats"])
+        self._installer.restore_rng_state(state["installer_rng"])
 
     def summary(self, app_id: str, day: int | None = None) -> dict[str, Any]:
         self._account()
@@ -309,6 +352,39 @@ class FaultyTransport:
         self.stats = stats or TransportStats()
         self._vanished: set[str] = set()
         self._call_index: Counter[tuple[str, str]] = Counter()
+
+    # -- checkpoint support -----------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The faulty transport's full continuation state.
+
+        On top of the stats clock and installer RNG this captures the
+        per-``(endpoint, app)`` call indexes (fault draws are a pure
+        function of them) and the vanished-app set, so a resumed crawl
+        replays exactly the fault plan the interrupted run was on.
+        """
+        return {
+            "stats": self.stats.snapshot(),
+            "installer_rng": self._installer.rng_state(),
+            "vanished": sorted(self._vanished),
+            "call_index": [
+                [endpoint, app_id, count]
+                for (endpoint, app_id), count in sorted(
+                    self._call_index.items()
+                )
+            ],
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.stats.restore(state["stats"])
+        self._installer.restore_rng_state(state["installer_rng"])
+        self._vanished = set(state.get("vanished", []))
+        self._call_index = Counter(
+            {
+                (endpoint, app_id): int(count)
+                for endpoint, app_id, count in state.get("call_index", [])
+            }
+        )
 
     # -- fault machinery ---------------------------------------------------
 

@@ -1,0 +1,143 @@
+"""Round-trip and integrity tests for the dataset export (repro.io).
+
+Pins the v2 on-disk contract: what survives an export→load round trip
+(labels, outcomes, permissions, precomputed aggregate features), what is
+documented as lossy (profile posts come back as placeholders), and how
+damage is reported (``DatasetFormatError`` with an actionable message,
+never a raw JSON traceback).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.io import (
+    DatasetFormatError,
+    dataset_to_dict,
+    export_dataset,
+    load_dataset,
+    migrate_dataset_v1_to_v2,
+)
+
+
+@pytest.fixture(scope="module")
+def exported(pipeline_result, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "dataset.json"
+    export_dataset(pipeline_result, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def loaded(exported):
+    return load_dataset(exported)
+
+
+def test_roundtrip_labels_and_order(pipeline_result, loaded):
+    records, labels, metadata = loaded
+    bundle = pipeline_result.bundle
+    ordered = sorted(bundle.d_sample)
+    assert [r.app_id for r in records] == ordered
+    assert labels == [bundle.label(a) for a in ordered]
+    assert metadata["format_version"] == 2
+    assert metadata["n_malicious"] == len(bundle.d_sample_malicious)
+    assert metadata["n_benign"] == len(bundle.d_sample_benign)
+
+
+def test_roundtrip_preserves_fields_and_outcomes(pipeline_result, loaded):
+    records, _, _ = loaded
+    originals = pipeline_result.bundle.records
+    for record in records:
+        original = originals[record.app_id]
+        assert record.name == original.name
+        assert record.category == original.category
+        assert record.permissions == original.permissions
+        assert record.observed_client_id == original.observed_client_id
+        assert record.mau_observations == list(original.mau_observations)
+        assert set(record.outcomes) == set(original.outcomes)
+        for collection, outcome in original.outcomes.items():
+            clone = record.outcomes[collection]
+            assert clone.status == outcome.status
+            assert clone.attempts == outcome.attempts
+            assert clone.faults == list(outcome.faults)
+            assert clone.elapsed_s == pytest.approx(outcome.elapsed_s)
+
+
+def test_aggregate_features_ride_along(pipeline_result, exported):
+    """The export carries the two non-recomputable aggregate features."""
+    data = json.loads(exported.read_text())
+    originals = pipeline_result.bundle.records
+    extractor = pipeline_result.extractor
+    for entry in data["records"][:20]:
+        original = originals[entry["app_id"]]
+        assert entry["external_link_ratio"] == pytest.approx(
+            extractor.feature_value("external_link_ratio", original)
+        )
+        assert entry["name_matches_malicious"] == pytest.approx(
+            extractor.feature_value("name_matches_malicious", original)
+        )
+
+
+def test_profile_posts_documented_lossy(pipeline_result, loaded):
+    """Posts come back as count-many placeholders — the documented loss."""
+    records, _, _ = loaded
+    originals = pipeline_result.bundle.records
+    for record in records:
+        original = originals[record.app_id]
+        assert len(record.profile_posts) == len(original.profile_posts)
+        assert all(
+            post == {"message": "", "link": None, "created_time": 0, "from": 0}
+            for post in record.profile_posts
+        )
+
+
+def test_placeholder_posts_do_not_alias(loaded):
+    """Regression: placeholders were once n references to ONE dict."""
+    records, _, _ = loaded
+    victim = next(r for r in records if len(r.profile_posts) >= 2)
+    victim.profile_posts[0]["message"] = "mutated"
+    assert victim.profile_posts[1]["message"] == ""
+
+
+def test_v1_export_migrates_on_load(pipeline_result, tmp_path):
+    v1 = dataset_to_dict(pipeline_result)
+    del v1["records_sha256"]
+    v1["format_version"] = 1
+    path = tmp_path / "v1.json"
+    path.write_text(json.dumps(v1))
+    records, labels, metadata = load_dataset(path)
+    assert metadata["format_version"] == 2
+    assert "records_sha256" in metadata
+    assert len(records) == len(labels) == len(v1["records"])
+
+
+def test_migrate_rejects_non_v1(pipeline_result):
+    v2 = dataset_to_dict(pipeline_result)
+    with pytest.raises(DatasetFormatError, match="format_version 1"):
+        migrate_dataset_v1_to_v2(v2)
+
+
+def test_truncated_json_is_actionable(exported, tmp_path):
+    broken = tmp_path / "truncated.json"
+    broken.write_bytes(exported.read_bytes()[:-200])
+    with pytest.raises(DatasetFormatError, match="truncated or corrupt"):
+        load_dataset(broken)
+
+
+def test_checksum_mismatch_detected(exported, tmp_path):
+    data = json.loads(exported.read_text())
+    data["records"][0]["name"] = "tampered-after-export"
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(data))
+    with pytest.raises(DatasetFormatError, match="integrity check"):
+        load_dataset(tampered)
+
+
+def test_unsupported_version_rejected(exported, tmp_path):
+    data = json.loads(exported.read_text())
+    data["format_version"] = 99
+    future = tmp_path / "future.json"
+    future.write_text(json.dumps(data))
+    with pytest.raises(DatasetFormatError, match="unsupported"):
+        load_dataset(future)
