@@ -1,0 +1,165 @@
+"""Service benchmark: throughput and latency vs fault rate, under overload.
+
+Sweeps the injected fault rate 0% -> 30% while offering the verdict
+service the *same* open-loop workload at a fixed multiple of its
+estimated cold-crawl capacity, and prints per rate
+
+* the typed-outcome mix (served / overloaded / deadline),
+* the degradation-ladder mix of served verdicts,
+* served throughput on the simulated clock and p50/p95/p99 latency,
+* shed rates per priority (the policy: bulk before interactive),
+* cache effectiveness (fresh / stale hits, background refreshes).
+
+When ``REPRO_SERVICE_PERF_DIR`` is set, the sweep is also written there
+as ``service_sweep.json`` so CI can upload it as an artifact and runs
+can be compared over time.
+
+Run with ``pytest benchmarks/test_perf_service.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import ScaleConfig, ServiceConfig
+from repro.core.pipeline import FrappePipeline
+from repro.service import (
+    BULK,
+    DEADLINE,
+    INTERACTIVE,
+    OVERLOADED,
+    SERVED,
+    LoadProfile,
+    estimate_capacity_rps,
+    generate_requests,
+    make_service,
+)
+
+SERVICE_SCALE = 0.02
+SERVICE_SEED = 2012
+RATES = (0.0, 0.1, 0.2, 0.3)
+N_REQUESTS = 200
+OVERLOAD_FACTOR = 2.0
+QUEUE_DEPTH = 12
+
+_sweep: dict[float, dict] = {}
+
+
+def _serve(rate: float):
+    result = FrappePipeline(
+        ScaleConfig(scale=SERVICE_SCALE, master_seed=SERVICE_SEED, fault_rate=rate)
+    ).run(sweep_unlabelled=False)
+    service = make_service(
+        result, ServiceConfig(max_queue_depth=QUEUE_DEPTH)
+    )
+    capacity = estimate_capacity_rps(result.world.schedule)
+    profile = LoadProfile(
+        n_requests=N_REQUESTS,
+        rate_rps=capacity * OVERLOAD_FACTOR,
+        pool_size=24,
+        seed=SERVICE_SEED,
+    )
+    requests = generate_requests(sorted(result.bundle.d_sample), profile)
+    return service.serve(requests)
+
+
+def _row(rate: float, report) -> dict:
+    outcomes = report.outcome_counts()
+    return {
+        "fault_rate": rate,
+        "requests": len(report.responses),
+        "served": outcomes.get(SERVED, 0),
+        "overloaded": outcomes.get(OVERLOADED, 0),
+        "deadline": outcomes.get(DEADLINE, 0),
+        "rungs": dict(sorted(report.rung_counts().items())),
+        "shed_rate_interactive": report.shed_rate(INTERACTIVE),
+        "shed_rate_bulk": report.shed_rate(BULK),
+        "max_queue_depth": report.max_queue_depth,
+        "queue_bound": report.queue_bound,
+        "cache_hits_fresh": report.cache_hits_fresh,
+        "cache_hits_stale": report.cache_hits_stale,
+        "refreshes_done": report.refreshes_done,
+        "refreshes_shed": report.refreshes_shed,
+        "latency_p50_s": report.latency_percentile(50),
+        "latency_p95_s": report.latency_percentile(95),
+        "latency_p99_s": report.latency_percentile(99),
+        "throughput_served_per_h": report.throughput_rps() * 3600,
+        "simulated_elapsed_s": report.elapsed_s,
+        "injected_faults": sum(report.transport["injected"].values()),
+    }
+
+
+def _render(row: dict) -> str:
+    return "\n".join(
+        [
+            f"fault rate        {row['fault_rate']:.0%}",
+            f"outcomes          served={row['served']} "
+            f"overloaded={row['overloaded']} deadline={row['deadline']}",
+            f"rungs             {row['rungs']}",
+            f"shed rates        interactive={row['shed_rate_interactive']:.1%} "
+            f"bulk={row['shed_rate_bulk']:.1%}",
+            f"queue             depth<= {row['max_queue_depth']}"
+            f"/{row['queue_bound']}",
+            f"cache             fresh={row['cache_hits_fresh']} "
+            f"stale={row['cache_hits_stale']} "
+            f"refreshes={row['refreshes_done']} "
+            f"(shed {row['refreshes_shed']})",
+            f"latency (sim)     p50={row['latency_p50_s']:.1f}s "
+            f"p95={row['latency_p95_s']:.1f}s p99={row['latency_p99_s']:.1f}s",
+            f"throughput        {row['throughput_served_per_h']:.0f} served/h "
+            f"over {row['simulated_elapsed_s'] / 3600:.1f} simulated h",
+            f"injected faults   {row['injected_faults']}",
+        ]
+    )
+
+
+def _write_artifact() -> None:
+    directory = os.environ.get("REPRO_SERVICE_PERF_DIR")
+    if not directory:
+        return
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    rows = [_sweep[rate] for rate in sorted(_sweep)]
+    (path / "service_sweep.json").write_text(
+        json.dumps(
+            {
+                "scale": SERVICE_SCALE,
+                "seed": SERVICE_SEED,
+                "n_requests": N_REQUESTS,
+                "overload_factor": OVERLOAD_FACTOR,
+                "queue_depth": QUEUE_DEPTH,
+                "sweep": rows,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+@pytest.mark.parametrize("rate", RATES)
+def test_perf_service_fault_sweep(benchmark, rate):
+    report = benchmark.pedantic(_serve, args=(rate,), rounds=1, iterations=1)
+    row = _row(rate, report)
+    _sweep[rate] = row
+    print()
+    print(_render(row))
+
+    # The overload contract holds at every fault rate.
+    assert row["requests"] == N_REQUESTS
+    assert row["served"] + row["overloaded"] + row["deadline"] == N_REQUESTS
+    assert row["max_queue_depth"] <= QUEUE_DEPTH
+    if row["shed_rate_bulk"] > 0.0:
+        assert row["shed_rate_bulk"] >= row["shed_rate_interactive"]
+    if rate == 0.0:
+        # The cache absorbs the repeats: a fault-free service keeps up
+        # with 2x the cold-crawl estimate without shedding a thing.
+        assert row["injected_faults"] == 0
+    else:
+        assert row["injected_faults"] > 0
+        assert row["overloaded"] > 0  # 2x capacity plus faults must shed
+    if rate == RATES[-1]:
+        _write_artifact()

@@ -6,6 +6,7 @@ Commands
 ``experiments``  reproduce every paper table/figure (paper vs measured)
 ``evaluate``     run the watchdog over app IDs (or a random sample)
 ``crawl``        crawl D-Sample under injected faults, report resilience
+``serve``        drive the online verdict service with an open-loop load
 ``forensics``    run the Sec 6 AppNet investigation
 ``export``       write the labelled D-Sample dataset to JSON
 
@@ -104,6 +105,36 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--sample", type=int, default=8,
         help="random apps to assess when no IDs are given",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="drive the online verdict service with open-loop load"
+    )
+    serve.add_argument(
+        "--requests", type=int, default=200,
+        help="requests to offer (default 200)",
+    )
+    serve.add_argument(
+        "--overload", type=float, default=1.0,
+        help="offered load as a multiple of the estimated cold-crawl "
+             "capacity (default 1.0; >=2 forces shedding)",
+    )
+    serve.add_argument(
+        "--fault-rate", type=float, default=argparse.SUPPRESS,
+        help="override the global --fault-rate",
+    )
+    serve.add_argument(
+        "--interactive-fraction", type=float, default=0.7,
+        help="fraction of requests at interactive priority (default 0.7)",
+    )
+    serve.add_argument(
+        "--pool", type=int, default=32,
+        help="apps drawn with repetition from a pool of this size "
+             "(smaller pools exercise the verdict cache; default 32)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=16,
+        help="admission queue bound (default 16)",
     )
 
     export = sub.add_parser("export", help="export D-Sample to JSON")
@@ -239,6 +270,46 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Train FRAppE, stand up the verdict service, offer open-loop load.
+
+    ``--overload`` scales the arrival rate relative to the analytically
+    estimated cold-crawl capacity; at >= 2 the admission queue must
+    shed, and the report shows the priority policy doing it (bulk
+    before interactive), the cache absorbing repeats, and every request
+    accounted for by a typed outcome.
+    """
+    from repro.core.pipeline import FrappePipeline
+    from repro.config import ServiceConfig
+    from repro.service import (
+        LoadProfile,
+        estimate_capacity_rps,
+        generate_requests,
+        make_service,
+    )
+
+    result = FrappePipeline(_config(args)).run(sweep_unlabelled=False)
+    service = make_service(
+        result, ServiceConfig(max_queue_depth=args.queue_depth)
+    )
+    capacity = estimate_capacity_rps(result.world.schedule)
+    profile = LoadProfile(
+        n_requests=args.requests,
+        rate_rps=capacity * args.overload,
+        interactive_fraction=args.interactive_fraction,
+        pool_size=args.pool,
+        seed=args.seed,
+    )
+    requests = generate_requests(sorted(result.bundle.d_sample), profile)
+    report = service.serve(requests)
+    print(f"offered:     {args.requests} requests at "
+          f"{profile.rate_rps:.3f} req/s "
+          f"({args.overload:.1f}x estimated capacity "
+          f"{capacity:.3f} req/s), fault_rate={result.world.config.fault_rate}")
+    print(report.summary())
+    return 0
+
+
 def _cmd_forensics(args: argparse.Namespace) -> int:
     from repro.collusion import CollusionAnalyzer
     from repro.ecosystem.simulation import run_simulation
@@ -273,6 +344,7 @@ _COMMANDS = {
     "experiments": _cmd_experiments,
     "evaluate": _cmd_evaluate,
     "crawl": _cmd_crawl,
+    "serve": _cmd_serve,
     "forensics": _cmd_forensics,
     "export": _cmd_export,
 }

@@ -20,7 +20,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-__all__ = ["PaperStats", "PAPER", "ScaleConfig"]
+__all__ = ["PaperStats", "PAPER", "ScaleConfig", "ServiceConfig"]
 
 
 @dataclass(frozen=True)
@@ -264,6 +264,89 @@ class ScaleConfig:
         rather than 0.44 of one.
         """
         return max(minimum, int(round(paper_value * math.sqrt(self.scale))))
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the online verdict service (:mod:`repro.service`).
+
+    Everything is expressed in *simulated* seconds on the shared
+    :class:`~repro.platform.transport.TransportStats` clock — the
+    service never reads the wall clock, so any run is a pure function
+    of its seed and configuration.
+    """
+
+    #: admitted-but-not-yet-served requests the service will hold;
+    #: beyond this, arrivals are shed (bulk before interactive)
+    max_queue_depth: int = 16
+    #: deadline budget of an interactive request, from its arrival
+    interactive_deadline_s: float = 60.0
+    #: deadline budget of a bulk request, from its arrival
+    bulk_deadline_s: float = 600.0
+    #: deadline budget of an internal cache-refresh task
+    refresh_deadline_s: float = 600.0
+    #: verdict-cache freshness window (serve without re-crawling)
+    cache_ttl_s: float = 3600.0
+    #: beyond the TTL but within this window a verdict is *stale*:
+    #: served immediately while a background refresh revalidates it
+    cache_stale_ttl_s: float = 6 * 3600.0
+    #: TTL for negative entries (authoritative PERMANENT removals);
+    #: a removed app cannot come back, so this is long by default
+    negative_ttl_s: float = 24 * 3600.0
+    #: schedule background refreshes for stale-while-revalidate hits
+    revalidate: bool = True
+    #: per-endpoint-class bulkhead: the fraction of a request's
+    #: remaining deadline one endpoint class may consume, so a slow
+    #: Graph API lookup cannot eat the whole request budget
+    bulkhead_fractions: tuple[tuple[str, float], ...] = (
+        ("summary", 0.6),
+        ("feed", 0.3),
+        ("install", 0.3),
+    )
+    #: consecutive transient failures that open an endpoint breaker
+    breaker_failure_threshold: int = 5
+    #: breaker cooldown before a half-open probe, simulated seconds
+    breaker_cooldown_s: float = 180.0
+    #: retry attempts per request inside the service (smaller than the
+    #: batch crawler's: an online caller is waiting)
+    retry_attempts: int = 2
+    #: simulated service cost of answering from the verdict cache
+    cache_hit_cost_s: float = 0.01
+    #: simulated CPU cost of feature extraction + SVM evaluation
+    score_cost_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        for name in (
+            "interactive_deadline_s",
+            "bulk_deadline_s",
+            "refresh_deadline_s",
+            "cache_ttl_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.cache_stale_ttl_s < self.cache_ttl_s:
+            raise ValueError(
+                "cache_stale_ttl_s must be >= cache_ttl_s "
+                f"({self.cache_stale_ttl_s} < {self.cache_ttl_s})"
+            )
+        for endpoint, fraction in self.bulkhead_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"bulkhead fraction for {endpoint!r} must be in "
+                    f"(0, 1], got {fraction}"
+                )
+
+    def deadline_for(self, priority: str) -> float:
+        """The default deadline budget of *priority* requests."""
+        return (
+            self.interactive_deadline_s
+            if priority == "interactive"
+            else self.bulk_deadline_s
+        )
 
 
 #: A tiny configuration for unit tests.

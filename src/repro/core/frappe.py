@@ -180,6 +180,20 @@ class FrappeCascade:
         margin = float(self._models[tier].decision_function([record])[0])
         return margin, tier
 
+    def score_record(self, record: CrawlRecord) -> tuple[int, float, str]:
+        """(prediction, margin, tier) for one record, in one pass.
+
+        The prediction is derived from the margin with the same
+        ``margin >= 0`` rule :meth:`FrappeClassifier.predict` applies,
+        so it is bit-identical to ``predict([record])[0]`` — the online
+        service leans on that equivalence for its fault-free contract.
+        Tier ``none`` declines to condemn: prediction 0, margin 0.
+        """
+        margin, tier = self.decision_function_one(record)
+        if tier == "none":
+            return 0, 0.0, tier
+        return int(margin >= 0.0), margin, tier
+
 
 def frappe_lite(extractor: FeatureExtractor, **svm_params) -> FrappeClassifier:
     """FRAppE Lite: the on-demand-features-only variant (Sec 5.1)."""

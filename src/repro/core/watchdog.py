@@ -125,9 +125,18 @@ class AppWatchdog:
 
     # -- scoring -----------------------------------------------------------
 
-    def _risk_from_margin(self, margin: float) -> float:
-        """Map the SVM margin to [0, 100] with 50 at the boundary."""
+    def risk_from_margin(self, margin: float) -> float:
+        """Map the SVM margin to [0, 100] with 50 at the boundary.
+
+        Public because the online verdict service
+        (:mod:`repro.service`) scores every degradation-ladder rung on
+        the same calibrated scale the watchdog uses, so a cached
+        verdict and a freshly computed one are directly comparable.
+        """
         return 100.0 / (1.0 + math.exp(-margin * self._margin_scale))
+
+    # Backwards-compatible alias (pre-service callers).
+    _risk_from_margin = risk_from_margin
 
     def _margin_and_tier(self, record: CrawlRecord) -> tuple[float, str]:
         if isinstance(self._classifier, FrappeCascade):

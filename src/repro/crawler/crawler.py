@@ -166,15 +166,56 @@ class AppCrawler:
         return self._transport.stats
 
     @property
+    def transport(self) -> DirectTransport | FaultyTransport:
+        """The transport under this crawler (shared with the service)."""
+        return self._transport
+
+    @property
     def executor(self) -> ResilientExecutor:
         return self._executor
 
-    def crawl_app(self, app_id: str) -> CrawlRecord:
+    def crawl_app(
+        self,
+        app_id: str,
+        deadline_at: float | None = None,
+        bulkhead: "object | None" = None,
+        strict_deadline: bool = False,
+    ) -> CrawlRecord:
+        """Crawl one app's three collections under a deadline budget.
+
+        By default the deadline is the retry policy's per-app budget
+        from now.  The online service passes an explicit *deadline_at*
+        (the request's absolute deadline on the simulated clock) and a
+        *bulkhead* (:class:`repro.service.bulkhead.Bulkhead`) that caps
+        each endpoint class to its compartment of the remaining budget,
+        so one slow Graph API class cannot consume the whole request.
+
+        With *strict_deadline*, a collection whose start already lies
+        past the deadline is not attempted at all: its outcome is a
+        transient give-up tagged ``"deadline"`` (uninformative
+        missingness — the classifier must degrade, not condemn).  The
+        batch crawler keeps the historical lenient behaviour, where
+        an exhausted deadline still allows fault-free attempts.
+        """
         record = CrawlRecord(app_id=app_id)
-        deadline_at = self.stats.elapsed_s + self._policy.per_app_deadline_s
-        self._crawl_summaries(record, deadline_at)
-        self._crawl_profile_feed(record, deadline_at)
-        self._crawl_install_url(record, deadline_at)
+        if deadline_at is None:
+            deadline_at = self.stats.elapsed_s + self._policy.per_app_deadline_s
+        for crawl, endpoint in (
+            (self._crawl_summaries, "summary"),
+            (self._crawl_profile_feed, "feed"),
+            (self._crawl_install_url, "install"),
+        ):
+            if strict_deadline and self.stats.elapsed_s >= deadline_at:
+                record.outcomes[endpoint] = CrawlOutcome(
+                    endpoint, status=GAVE_UP, faults=["deadline"]
+                )
+                continue
+            endpoint_deadline = deadline_at
+            if bulkhead is not None:
+                endpoint_deadline = bulkhead.endpoint_deadline(
+                    endpoint, self.stats.elapsed_s, deadline_at
+                )
+            crawl(record, endpoint_deadline)
         return record
 
     def crawl_many(

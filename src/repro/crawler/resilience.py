@@ -85,6 +85,19 @@ class RetryPolicy:
             delay = max(delay, error.retry_after)
         return delay
 
+    @staticmethod
+    def mandatory_delay(error: TransientGraphApiError) -> float:
+        """The wait *error* imposes regardless of jitter (rate-limit hints).
+
+        When this floor alone exceeds the remaining deadline budget the
+        retry is hopeless: no jitter draw can shrink it, so the caller
+        must give up immediately instead of sleeping toward a deadline
+        it is already guaranteed to miss.
+        """
+        if isinstance(error, RateLimitError):
+            return error.retry_after
+        return 0.0
+
 
 class CircuitBreaker:
     """Per-endpoint closed / open / half-open breaker on simulated time.
@@ -94,6 +107,13 @@ class CircuitBreaker:
     and then get exactly one half-open probe.  A successful probe (or
     any authoritative answer) closes the breaker; a failed probe
     re-opens it.
+
+    Half-open admits *exactly one* probe: the caller whose ``allow``
+    performed the open → half-open transition owns it, and every other
+    caller is rejected until the probe resolves via ``record_success``
+    or ``record_failure``.  Without this, a burst of concurrent service
+    requests arriving at cooldown expiry would all hammer the
+    still-suspect endpoint at once.
     """
 
     CLOSED = "closed"
@@ -110,6 +130,7 @@ class CircuitBreaker:
         self.state = self.CLOSED
         self._consecutive_failures = 0
         self._opened_at = 0.0
+        self._probe_in_flight = False
 
     def cooldown_remaining(self, now_s: float) -> float:
         """Simulated seconds until a half-open probe is allowed (0 if now)."""
@@ -118,16 +139,29 @@ class CircuitBreaker:
         return max(0.0, self._opened_at + self.cooldown_s - now_s)
 
     def allow(self, now_s: float) -> bool:
-        """May a request go out at *now_s*?  Transitions open → half-open."""
+        """May a request go out at *now_s*?  Transitions open → half-open.
+
+        In half-open, only the caller that performed the transition is
+        admitted; concurrent callers get ``False`` (the breaker-open
+        outcome) until the probe resolves.
+        """
         if self.state == self.OPEN:
             if now_s < self._opened_at + self.cooldown_s:
                 return False
             self.state = self.HALF_OPEN
+            self._probe_in_flight = True
+            return True
+        if self.state == self.HALF_OPEN:
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+            return True
         return True
 
     def record_success(self) -> None:
         self.state = self.CLOSED
         self._consecutive_failures = 0
+        self._probe_in_flight = False
 
     def record_failure(self, now_s: float) -> None:
         self._consecutive_failures += 1
@@ -138,6 +172,7 @@ class CircuitBreaker:
             self.state = self.OPEN
             self._opened_at = now_s
             self._consecutive_failures = 0
+        self._probe_in_flight = False
 
     # -- checkpoint support -----------------------------------------------
 
@@ -147,6 +182,7 @@ class CircuitBreaker:
             "state": self.state,
             "consecutive_failures": self._consecutive_failures,
             "opened_at": self._opened_at,
+            "probe_in_flight": self._probe_in_flight,
         }
 
     def restore(self, data: dict) -> None:
@@ -154,6 +190,7 @@ class CircuitBreaker:
         self.state = data["state"]
         self._consecutive_failures = int(data["consecutive_failures"])
         self._opened_at = float(data["opened_at"])
+        self._probe_in_flight = bool(data.get("probe_in_flight", False))
 
 
 @dataclass
@@ -265,6 +302,14 @@ class ResilientExecutor:
                     outcome.faults.append(error.kind)
                     breaker.record_failure(self.stats.elapsed_s)
                     if attempt + 1 >= self.policy.max_attempts:
+                        self._mark(outcome, GAVE_UP)
+                        return None
+                    # A rate-limit hint that already overruns the
+                    # deadline makes the retry hopeless before any
+                    # jitter is drawn: give up now, sleep nothing.
+                    if self._past_deadline(
+                        deadline_at, self.policy.mandatory_delay(error)
+                    ):
                         self._mark(outcome, GAVE_UP)
                         return None
                     if rng is None:  # jitter RNG, derived only when needed

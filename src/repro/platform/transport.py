@@ -27,6 +27,7 @@ rate *costs* in crawl time, not just in data loss.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
@@ -213,6 +214,11 @@ class TransportStats:
     timeouts); ``wait_s`` accumulates time the *crawler* chose to sleep
     (backoff, retry-after, circuit-breaker cooldowns).  Their sum is the
     simulated wall clock the resilience layer schedules against.
+
+    The verdict service shares one transport (hence one stats clock)
+    across in-flight requests, so every mutation goes through a method
+    that holds an internal lock; lost updates would silently shrink the
+    simulated clock and break deterministic replay.
     """
 
     requests: int = 0
@@ -221,44 +227,69 @@ class TransportStats:
     service_s: float = 0.0
     wait_s: float = 0.0
     vanished: set[str] = field(default_factory=set)
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False, compare=False
+    )
 
     @property
     def elapsed_s(self) -> float:
         """The simulated clock: total service plus deliberate waiting."""
-        return self.service_s + self.wait_s
+        with self._lock:
+            return self.service_s + self.wait_s
+
+    def add_request(self) -> None:
+        with self._lock:
+            self.requests += 1
 
     def add_service(self, seconds: float) -> None:
-        self.service_s += seconds
+        with self._lock:
+            self.service_s += seconds
 
     def add_wait(self, seconds: float) -> None:
-        self.wait_s += seconds
+        with self._lock:
+            self.wait_s += seconds
+
+    def add_fault(self, kind: str) -> None:
+        with self._lock:
+            self.injected[kind] += 1
+
+    def add_truncated_feed(self) -> None:
+        with self._lock:
+            self.truncated_feeds += 1
+
+    def add_vanished(self, app_id: str) -> None:
+        with self._lock:
+            self.vanished.add(app_id)
 
     def fault_count(self) -> int:
-        return sum(self.injected.values())
+        with self._lock:
+            return sum(self.injected.values())
 
     # -- checkpoint support -----------------------------------------------
 
     def snapshot(self) -> dict[str, Any]:
         """A JSON-serialisable image of the accounting (for checkpoints)."""
-        return {
-            "requests": self.requests,
-            "injected": dict(self.injected),
-            "truncated_feeds": self.truncated_feeds,
-            "service_s": self.service_s,
-            "wait_s": self.wait_s,
-            "vanished": sorted(self.vanished),
-        }
+        with self._lock:
+            return {
+                "requests": self.requests,
+                "injected": dict(self.injected),
+                "truncated_feeds": self.truncated_feeds,
+                "service_s": self.service_s,
+                "wait_s": self.wait_s,
+                "vanished": sorted(self.vanished),
+            }
 
     def restore(self, data: dict[str, Any]) -> None:
         """Restore accounting from a :meth:`snapshot` image, in place."""
-        self.requests = int(data["requests"])
-        self.injected = Counter(
-            {kind: int(count) for kind, count in data["injected"].items()}
-        )
-        self.truncated_feeds = int(data["truncated_feeds"])
-        self.service_s = float(data["service_s"])
-        self.wait_s = float(data["wait_s"])
-        self.vanished = set(data["vanished"])
+        with self._lock:
+            self.requests = int(data["requests"])
+            self.injected = Counter(
+                {kind: int(count) for kind, count in data["injected"].items()}
+            )
+            self.truncated_feeds = int(data["truncated_feeds"])
+            self.service_s = float(data["service_s"])
+            self.wait_s = float(data["wait_s"])
+            self.vanished = set(data["vanished"])
 
 
 # -- transports ------------------------------------------------------------
@@ -286,7 +317,7 @@ class DirectTransport:
         self.stats = stats or TransportStats()
 
     def _account(self) -> None:
-        self.stats.requests += 1
+        self.stats.add_request()
         self.stats.add_service(self._base_latency_s)
 
     # -- checkpoint support -----------------------------------------------
@@ -400,7 +431,7 @@ class FaultyTransport:
         Returns the fault for kinds the endpoint handler must apply to
         the *response* (truncation); raises for request-level faults.
         """
-        self.stats.requests += 1
+        self.stats.add_request()
         if app_id in self._vanished:
             self.stats.add_service(self.plan.base_latency_s)
             raise GraphApiError(app_id)
@@ -408,7 +439,7 @@ class FaultyTransport:
         if fault is None:
             self.stats.add_service(self.plan.base_latency_s)
             return None
-        self.stats.injected[fault.kind] += 1
+        self.stats.add_fault(fault.kind)
         if fault.kind == "rate_limit":
             self.stats.add_service(self.plan.error_latency_s)
             raise RateLimitError(app_id, retry_after=fault.retry_after)
@@ -420,7 +451,7 @@ class FaultyTransport:
             raise RequestTimeoutError(app_id, elapsed=self.plan.timeout_s)
         if fault.kind == "vanish":
             self._vanished.add(app_id)
-            self.stats.vanished.add(app_id)
+            self.stats.add_vanished(app_id)
             self.stats.add_service(self.plan.base_latency_s)
             raise GraphApiError(app_id)
         # truncate: the request succeeds but the response is cut short.
@@ -441,7 +472,7 @@ class FaultyTransport:
         if fault is not None and fault.kind == "truncate" and feed:
             kept = max(1, int(len(feed) * fault.keep_fraction))
             if kept < len(feed):
-                self.stats.truncated_feeds += 1
+                self.stats.add_truncated_feed()
                 feed = feed[:kept]
         return feed
 

@@ -1,0 +1,66 @@
+"""The online FRAppE verdict service: overload-hardened scoring.
+
+The paper's end product is an on-demand oracle — "given an app ID, is
+it malicious?" (Sec 5).  This package serves that question against the
+simulated platform with the defences a production watchdog needs:
+priority-aware admission control, per-request deadline budgets,
+per-endpoint bulkheads over the crawler's circuit breakers, a
+stale-while-revalidate verdict cache, and a degradation ladder that
+always returns a typed answer.  See :mod:`repro.service.service` for
+the architecture notes and DESIGN.md's "Serving and overload model".
+"""
+
+from repro.service.admission import AdmissionQueue
+from repro.service.bulkhead import Bulkhead
+from repro.service.cache import CacheEntry, VerdictCache
+from repro.service.loadgen import (
+    LoadProfile,
+    estimate_capacity_rps,
+    generate_requests,
+)
+from repro.service.service import ServiceReport, VerdictService, make_service
+from repro.service.types import (
+    BULK,
+    DEADLINE,
+    INTERACTIVE,
+    OVERLOADED,
+    REFRESH,
+    RUNG_ADVISORY,
+    RUNG_CACHED,
+    RUNG_FULL,
+    RUNG_LITE,
+    RUNG_NONE,
+    RUNG_STALE,
+    RUNGS,
+    SERVED,
+    ScoreRequest,
+    VerdictResponse,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Bulkhead",
+    "CacheEntry",
+    "VerdictCache",
+    "LoadProfile",
+    "estimate_capacity_rps",
+    "generate_requests",
+    "ServiceReport",
+    "VerdictService",
+    "make_service",
+    "ScoreRequest",
+    "VerdictResponse",
+    "INTERACTIVE",
+    "BULK",
+    "REFRESH",
+    "SERVED",
+    "OVERLOADED",
+    "DEADLINE",
+    "RUNG_FULL",
+    "RUNG_LITE",
+    "RUNG_CACHED",
+    "RUNG_STALE",
+    "RUNG_ADVISORY",
+    "RUNG_NONE",
+    "RUNGS",
+]

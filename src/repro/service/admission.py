@@ -1,0 +1,105 @@
+"""Admission control: a bounded queue that sheds by priority.
+
+The service's first line of defence against overload is refusing work
+*early and loudly*.  The queue holds at most ``max_depth`` admitted
+requests; when a request arrives at a full queue the policy is:
+
+* if anything queued is *less* important than the arrival (``bulk``
+  below ``interactive``, internal ``refresh`` below both), the youngest
+  such entry is evicted to make room — shed bulk before interactive;
+* otherwise the arrival itself is shed.
+
+Either way the shed request is returned to the caller so the service
+can answer it with a typed ``overloaded`` response — nothing queues
+unboundedly and nothing disappears silently.
+
+Service order is strict priority (interactive first), FIFO within a
+priority class.  All choices are deterministic: ties break on the
+requests' monotone ``sequence`` numbers, never on dict order or clocks.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.service.types import PRIORITIES, ScoreRequest
+
+__all__ = ["AdmissionQueue"]
+
+
+class AdmissionQueue:
+    """Bounded, priority-aware admission queue with eviction shedding."""
+
+    def __init__(self, max_depth: int = 16) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        #: one FIFO per priority class, in importance order
+        self._lanes: dict[str, list[ScoreRequest]] = {
+            priority: [] for priority in PRIORITIES
+        }
+        #: requests shed at admission, by priority (for the report)
+        self.shed_counts: Counter[str] = Counter()
+        #: requests offered, by priority
+        self.offered_counts: Counter[str] = Counter()
+        #: high-water mark of the queue depth ever observed
+        self.max_depth_seen = 0
+
+    def __len__(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def depth_of(self, priority: str) -> int:
+        return len(self._lanes[priority])
+
+    def offer(self, request: ScoreRequest) -> list[ScoreRequest]:
+        """Admit *request* if possible; return the requests shed by it.
+
+        The returned list is empty (admitted, room to spare), contains
+        an evicted lower-priority request (admitted by displacement),
+        or contains *request* itself (rejected).
+        """
+        self.offered_counts[request.priority] += 1
+        if len(self) < self.max_depth:
+            self._lanes[request.priority].append(request)
+            self.max_depth_seen = max(self.max_depth_seen, len(self))
+            return []
+        victim = self._youngest_below(request.rank)
+        if victim is None:
+            self.shed_counts[request.priority] += 1
+            return [request]
+        self._lanes[victim.priority].remove(victim)
+        self.shed_counts[victim.priority] += 1
+        self._lanes[request.priority].append(request)
+        self.max_depth_seen = max(self.max_depth_seen, len(self))
+        return [victim]
+
+    def _youngest_below(self, rank: int) -> ScoreRequest | None:
+        """The youngest queued request strictly less important than *rank*."""
+        for priority in reversed(PRIORITIES):
+            if PRIORITIES.index(priority) <= rank:
+                return None
+            lane = self._lanes[priority]
+            if lane:
+                return lane[-1]
+        return None
+
+    def pop(self) -> ScoreRequest:
+        """The most important queued request (FIFO within its class)."""
+        for priority in PRIORITIES:
+            lane = self._lanes[priority]
+            if lane:
+                return lane.pop(0)
+        raise IndexError("pop from an empty AdmissionQueue")
+
+    def total_shed(self) -> int:
+        return sum(self.shed_counts.values())
+
+    def shed_rate(self, priority: str) -> float:
+        """Fraction of *priority* offers shed at admission (0 if none)."""
+        offered = self.offered_counts[priority]
+        if offered == 0:
+            return 0.0
+        return self.shed_counts[priority] / offered

@@ -1,0 +1,70 @@
+"""Bulkheads: per-endpoint-class compartments of a request's deadline.
+
+A verdict crawl touches three endpoint classes — summary, feed,
+install — and without compartmentalisation one slow class (a
+rate-limit storm on the summary endpoint, say) eats the *whole*
+per-request deadline and every downstream collection starves.  The
+bulkhead caps what each class may consume: a fraction of the deadline
+budget that remains when the class starts.  Fractions may sum past 1.0
+— a class that finishes early returns its unused budget to the pool —
+but no single class can take the request past its overall deadline.
+
+The second half of the bulkhead is the per-endpoint-class
+:class:`~repro.crawler.resilience.CircuitBreaker` (shared with the
+:class:`~repro.crawler.resilience.ResilientExecutor`): a class that is
+failing for *everyone* is cut off at the breaker before it costs each
+individual request its compartment budget.
+"""
+
+from __future__ import annotations
+
+from repro.crawler.resilience import CircuitBreaker, ResilientExecutor
+
+__all__ = ["Bulkhead"]
+
+
+class Bulkhead:
+    """Deadline compartments plus shared breakers per endpoint class."""
+
+    def __init__(
+        self,
+        fractions: dict[str, float],
+        executor: ResilientExecutor,
+    ) -> None:
+        for endpoint, fraction in fractions.items():
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"bulkhead fraction for {endpoint!r} must be in "
+                    f"(0, 1], got {fraction}"
+                )
+        self._fractions = dict(fractions)
+        self._executor = executor
+
+    def fraction(self, endpoint: str) -> float:
+        return self._fractions.get(endpoint, 1.0)
+
+    def breaker(self, endpoint: str) -> CircuitBreaker:
+        """The shared per-endpoint breaker (created on first use)."""
+        return self._executor.breaker(endpoint)
+
+    def endpoint_deadline(
+        self, endpoint: str, now_s: float, deadline_at: float
+    ) -> float:
+        """The absolute deadline *endpoint* work may run to.
+
+        ``now_s`` is when the class starts; it may spend at most its
+        fraction of the budget remaining at that instant, and never
+        more than the request's overall deadline.
+        """
+        remaining = max(0.0, deadline_at - now_s)
+        return min(deadline_at, now_s + remaining * self.fraction(endpoint))
+
+    def open_endpoints(self, now_s: float) -> tuple[str, ...]:
+        """Endpoint classes currently refusing requests (breaker open)."""
+        refused = []
+        for endpoint, breaker in sorted(self._executor.breakers.items()):
+            if breaker.state == CircuitBreaker.OPEN and (
+                breaker.cooldown_remaining(now_s) > 0.0
+            ):
+                refused.append(endpoint)
+        return tuple(refused)

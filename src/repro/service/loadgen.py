@@ -1,0 +1,112 @@
+"""A deterministic open-loop load generator for the verdict service.
+
+*Open-loop* means arrivals do not wait for responses: request ``i+1``
+arrives a seeded-exponential interarrival after request ``i`` whether or
+not the service has kept up.  That is the property that makes overload
+*testable* — a closed-loop generator self-throttles and can never drive
+the service past saturation, while an open-loop one at twice capacity
+guarantees the queue fills and the shedding policy must act.
+
+Everything is drawn from one RNG derived from the seed, so a workload
+is a value: the same seed and profile produce the same arrival
+instants, app choices, and priorities, and therefore (the service being
+clock-deterministic too) the same responses, byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rng import derive_seed
+from repro.service.types import BULK, INTERACTIVE, ScoreRequest
+
+__all__ = ["LoadProfile", "generate_requests", "estimate_capacity_rps"]
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """The shape of an offered load."""
+
+    n_requests: int = 100
+    #: mean arrival rate, requests per simulated second
+    rate_rps: float = 0.2
+    #: fraction of requests at ``interactive`` priority (rest: ``bulk``)
+    interactive_fraction: float = 0.7
+    interactive_deadline_s: float = 60.0
+    bulk_deadline_s: float = 600.0
+    #: apps are drawn (with repetition) from a pool of this size, so
+    #: smaller pools exercise the verdict cache harder; ``None`` uses
+    #: every app offered
+    pool_size: int | None = None
+    seed: int = 2012
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValueError("n_requests must be >= 1")
+        if self.rate_rps <= 0:
+            raise ValueError("rate_rps must be positive")
+        if not 0.0 <= self.interactive_fraction <= 1.0:
+            raise ValueError("interactive_fraction must be in [0, 1]")
+
+
+def generate_requests(
+    app_ids, profile: LoadProfile | None = None
+) -> list[ScoreRequest]:
+    """The open-loop workload *profile* describes, over *app_ids*.
+
+    Deterministic: sorted app pool, one derived RNG, monotone sequence
+    numbers.  Interarrivals are exponential with mean ``1/rate_rps``.
+    """
+    profile = profile or LoadProfile()
+    pool = sorted(app_ids)
+    if not pool:
+        raise ValueError("need at least one app id")
+    rng = np.random.default_rng(derive_seed(profile.seed, "service-loadgen"))
+    if profile.pool_size is not None and profile.pool_size < len(pool):
+        chosen = rng.choice(len(pool), size=profile.pool_size, replace=False)
+        pool = [pool[i] for i in sorted(chosen)]
+    requests = []
+    arrival = 0.0
+    for sequence in range(profile.n_requests):
+        arrival += float(rng.exponential(1.0 / profile.rate_rps))
+        interactive = bool(rng.random() < profile.interactive_fraction)
+        app_id = pool[int(rng.integers(len(pool)))]
+        requests.append(
+            ScoreRequest(
+                app_id=app_id,
+                arrival_s=arrival,
+                deadline_s=(
+                    profile.interactive_deadline_s
+                    if interactive
+                    else profile.bulk_deadline_s
+                ),
+                priority=INTERACTIVE if interactive else BULK,
+                sequence=sequence,
+            )
+        )
+    return requests
+
+
+def estimate_capacity_rps(
+    schedule,
+    base_latency_s: float = 0.35,
+    score_cost_s: float = 0.05,
+) -> float:
+    """Roughly how many *cold* requests/second one worker can serve.
+
+    A cold verdict crawls every weekly summary plus the feed and the
+    install URL; the estimate is analytic (no scratch crawl, nothing
+    perturbed) and is only used to translate an ``--overload`` factor
+    into an arrival rate.  Cache hits make real capacity higher.
+    """
+    weeks = len(
+        range(
+            schedule.summary_crawl_day,
+            schedule.summary_crawl_day + schedule.crawl_months * 30,
+            7,
+        )
+    )
+    per_request_s = (weeks + 2) * base_latency_s + score_cost_s
+    return 1.0 / per_request_s

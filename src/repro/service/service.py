@@ -1,0 +1,645 @@
+"""The online FRAppE verdict service (the paper's Sec 5 oracle, served).
+
+``VerdictService`` answers "is this app malicious?" under load, on the
+*simulated* clock (:class:`~repro.platform.transport.TransportStats`) —
+no wall clock anywhere, so every run is a pure function of its seed and
+configuration.  A request flows through four defences:
+
+1. **Admission** — a bounded queue (:class:`AdmissionQueue`) sheds by
+   priority when full: internal refreshes first, then bulk, and
+   interactive only when nothing less important is left.  Shed requests
+   get a typed ``overloaded`` response, never an unbounded queue.
+2. **Deadline budgets** — each request carries a deadline from its
+   arrival.  Requests that age out in the queue get a typed
+   ``deadline`` response; admitted ones propagate the remaining budget
+   down into :class:`~repro.crawler.resilience.ResilientExecutor` and
+   the transport, so one slow Graph API call cannot eat the request.
+3. **Bulkheads** — per-endpoint-class compartments of the budget plus
+   the executor's shared :class:`CircuitBreaker`s
+   (:mod:`repro.service.bulkhead`).
+4. **The degradation ladder** — full FRAppE → FRAppE Lite → cached /
+   stale verdict → summary-only advisory → decline-to-condemn, each
+   response recording which rung answered and why.
+
+A stale-while-revalidate :class:`VerdictCache` sits across the ladder:
+fresh hits skip the crawl entirely, stale hits are served immediately
+while a background refresh (priority ``refresh``, sheddable, debited to
+the same simulated clock) revalidates them, and authoritative
+``PERMANENT`` removals are negative-cached for much longer.
+
+With ``fault_rate == 0``, a cold cache, and one request at a time, the
+service's verdicts are bit-identical to
+:meth:`repro.core.frappe.FrappeCascade.predict` over the same records —
+the whole overload machinery is a strict no-op on the verdict itself.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.config import ServiceConfig
+from repro.core.features import CONFIDENCE_BY_TIER, FeatureExtractor
+from repro.core.frappe import FrappeCascade
+from repro.core.watchdog import AppWatchdog
+from repro.crawler.crawler import AppCrawler, CrawlRecord, make_crawler
+from repro.crawler.resilience import (
+    PERMANENT,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.platform.transport import TransportStats
+from repro.service.admission import AdmissionQueue
+from repro.service.bulkhead import Bulkhead
+from repro.service.cache import FRESH, MISS, STALE, CacheEntry, VerdictCache
+from repro.service.types import (
+    DEADLINE,
+    INTERACTIVE,
+    OVERLOADED,
+    REFRESH,
+    RUNG_ADVISORY,
+    RUNG_CACHED,
+    RUNG_FULL,
+    RUNG_LITE,
+    RUNG_NONE,
+    RUNG_STALE,
+    SERVED,
+    ScoreRequest,
+    VerdictResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ecosystem.simulation import SimulatedWorld
+
+__all__ = ["VerdictService", "ServiceReport", "make_service"]
+
+#: tier -> ladder rung for live-crawl verdicts
+_TIER_RUNG = {"frappe": RUNG_FULL, "lite": RUNG_LITE}
+
+
+@dataclass
+class ServiceReport:
+    """Everything one :meth:`VerdictService.serve` run produced."""
+
+    #: client responses, in completion order (internal refreshes excluded)
+    responses: list[VerdictResponse] = field(default_factory=list)
+    #: client requests offered / shed at admission, by priority
+    offered: dict[str, int] = field(default_factory=dict)
+    shed: dict[str, int] = field(default_factory=dict)
+    max_queue_depth: int = 0
+    queue_bound: int = 0
+    #: background refreshes completed / shed at admission / aged out
+    refreshes_done: int = 0
+    refreshes_shed: int = 0
+    refreshes_expired: int = 0
+    cache_hits_fresh: int = 0
+    cache_hits_stale: int = 0
+    cache_misses: int = 0
+    #: simulated seconds the run spanned, and of that, worker idleness
+    elapsed_s: float = 0.0
+    idle_s: float = 0.0
+    transport: dict[str, Any] = field(default_factory=dict)
+
+    # -- derived views -----------------------------------------------------
+
+    def outcome_counts(self) -> Counter[str]:
+        return Counter(response.outcome for response in self.responses)
+
+    def rung_counts(self) -> Counter[str]:
+        return Counter(
+            response.rung for response in self.responses
+            if response.outcome == SERVED
+        )
+
+    def shed_rate(self, priority: str) -> float:
+        offered = self.offered.get(priority, 0)
+        if offered == 0:
+            return 0.0
+        return self.shed.get(priority, 0) / offered
+
+    def served_latencies(self) -> list[float]:
+        return sorted(
+            response.latency_s
+            for response in self.responses
+            if response.outcome == SERVED
+        )
+
+    def latency_percentile(self, quantile: float) -> float:
+        """Deterministic (nearest-rank) latency percentile of served."""
+        latencies = self.served_latencies()
+        if not latencies:
+            return 0.0
+        rank = min(
+            len(latencies) - 1,
+            max(0, int(round(quantile / 100.0 * (len(latencies) - 1)))),
+        )
+        return latencies[rank]
+
+    def throughput_rps(self) -> float:
+        if self.elapsed_s <= 0:
+            return 0.0
+        served = sum(
+            1 for response in self.responses if response.outcome == SERVED
+        )
+        return served / self.elapsed_s
+
+    def summary(self) -> str:
+        outcome = self.outcome_counts()
+        rungs = self.rung_counts()
+        lines = [
+            f"requests:    {len(self.responses)} "
+            f"(served={outcome.get(SERVED, 0)}, "
+            f"overloaded={outcome.get(OVERLOADED, 0)}, "
+            f"deadline={outcome.get(DEADLINE, 0)})",
+            "rungs:       "
+            + (", ".join(f"{r}={n}" for r, n in sorted(rungs.items())) or "-"),
+            f"queue:       depth<= {self.max_queue_depth}/{self.queue_bound}, "
+            + ", ".join(
+                f"{p} shed {self.shed.get(p, 0)}/{self.offered.get(p, 0)}"
+                for p in sorted(self.offered)
+            ),
+            f"cache:       fresh={self.cache_hits_fresh} "
+            f"stale={self.cache_hits_stale} miss={self.cache_misses}; "
+            f"refreshes done={self.refreshes_done} shed={self.refreshes_shed} "
+            f"expired={self.refreshes_expired}",
+            f"latency:     p50={self.latency_percentile(50):.1f}s "
+            f"p95={self.latency_percentile(95):.1f}s "
+            f"p99={self.latency_percentile(99):.1f}s (simulated)",
+            f"clock:       {self.elapsed_s:.0f}s simulated "
+            f"({self.idle_s:.0f}s idle), "
+            f"throughput {self.throughput_rps() * 3600:.0f} served/h",
+        ]
+        return "\n".join(lines)
+
+
+class VerdictService:
+    """Admission-controlled, deadline-budgeted, cache-backed scoring."""
+
+    def __init__(
+        self,
+        world: "SimulatedWorld",
+        cascade: FrappeCascade,
+        extractor: FeatureExtractor,
+        config: ServiceConfig | None = None,
+        crawler: AppCrawler | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self._cascade = cascade
+        self._extractor = extractor
+        self._crawler = crawler or AppCrawler(world)
+        # Service breakers are tuned separately from the batch crawl's.
+        executor = self._crawler.executor
+        for endpoint in ("summary", "feed", "install"):
+            executor.breakers.setdefault(
+                endpoint,
+                CircuitBreaker(
+                    failure_threshold=self.config.breaker_failure_threshold,
+                    cooldown_s=self.config.breaker_cooldown_s,
+                ),
+            )
+        self._bulkhead = Bulkhead(
+            dict(self.config.bulkhead_fractions), executor
+        )
+        # The watchdog supplies calibrated risk scores and advisories;
+        # its own crawl/cache surface is not used by the service.
+        self._watchdog = AppWatchdog(cascade, extractor, self._crawler)
+        self.cache = VerdictCache(
+            ttl_s=self.config.cache_ttl_s,
+            stale_ttl_s=self.config.cache_stale_ttl_s,
+            negative_ttl_s=self.config.negative_ttl_s,
+        )
+        self.queue = AdmissionQueue(max_depth=self.config.max_queue_depth)
+        self._sequence = 0
+        self._report = ServiceReport(queue_bound=self.config.max_queue_depth)
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def stats(self) -> TransportStats:
+        return self._crawler.stats
+
+    @property
+    def now_s(self) -> float:
+        return self.stats.elapsed_s
+
+    # -- the public one-shot API -------------------------------------------
+
+    def score(
+        self,
+        app_id: str,
+        deadline_s: float | None = None,
+        priority: str = INTERACTIVE,
+    ) -> VerdictResponse:
+        """Answer one request right now (no queueing — concurrency 1)."""
+        if deadline_s is None:
+            deadline_s = self.config.deadline_for(priority)
+        request = ScoreRequest(
+            app_id=app_id,
+            arrival_s=self.now_s,
+            deadline_s=deadline_s,
+            priority=priority,
+            sequence=self._next_sequence(),
+        )
+        response = self._handle(request)
+        # One-shot mode has no serve loop to run scheduled background
+        # refreshes; drain them now (after the response is complete, so
+        # its latency is untouched — the cost still lands on the clock).
+        self.drain()
+        return response
+
+    def drain(self) -> None:
+        """Process queued work (notably background refreshes) to empty."""
+        while self.queue:
+            request = self.queue.pop()
+            response = self._handle(request)
+            if not request.internal:
+                self._report.responses.append(response)
+
+    # -- the served workload -----------------------------------------------
+
+    def serve(self, requests: list[ScoreRequest]) -> ServiceReport:
+        """Run an open-loop workload to completion; return the report.
+
+        Arrivals are admitted in arrival order whenever the (single)
+        worker is free; the worker serves the queue in priority order.
+        The loop ends when every arrival has a response and the queue —
+        including background refreshes — has drained.
+        """
+        arrivals = sorted(
+            requests, key=lambda r: (r.arrival_s, r.sequence)
+        )
+        started_at = self.now_s
+        report = self._report = ServiceReport(
+            queue_bound=self.config.max_queue_depth
+        )
+        index = 0
+        while True:
+            now = self.now_s
+            while index < len(arrivals) and arrivals[index].arrival_s <= now:
+                self._admit(arrivals[index])
+                index += 1
+            if not self.queue:
+                if index >= len(arrivals):
+                    break
+                idle = arrivals[index].arrival_s - now
+                if idle > 0.0:
+                    self.stats.add_wait(idle)
+                    report.idle_s += idle
+                continue
+            request = self.queue.pop()
+            response = self._handle(request)
+            if not request.internal:
+                report.responses.append(response)
+        report.elapsed_s = self.now_s - started_at
+        report.offered = {
+            priority: count
+            for priority, count in sorted(self.queue.offered_counts.items())
+            if priority != REFRESH
+        }
+        report.shed = {
+            priority: count
+            for priority, count in sorted(self.queue.shed_counts.items())
+            if priority != REFRESH
+        }
+        report.refreshes_shed = self.queue.shed_counts[REFRESH]
+        report.max_queue_depth = self.queue.max_depth_seen
+        report.cache_hits_fresh = self.cache.hits_fresh
+        report.cache_hits_stale = self.cache.hits_stale
+        report.cache_misses = self.cache.misses
+        report.transport = self.stats.snapshot()
+        return report
+
+    # -- admission ----------------------------------------------------------
+
+    def _admit(self, request: ScoreRequest) -> None:
+        for victim in self.queue.offer(request):
+            self._shed(victim)
+
+    def _shed(self, victim: ScoreRequest) -> None:
+        """Answer a request evicted (or rejected) by admission control."""
+        if victim.internal:
+            self.cache.abandon_revalidation(victim.app_id)
+            return
+        now = self.now_s
+        self._report.responses.append(
+            VerdictResponse(
+                app_id=victim.app_id,
+                outcome=OVERLOADED,
+                rung=RUNG_NONE,
+                verdict=None,
+                priority=victim.priority,
+                reason=(
+                    f"admission queue full "
+                    f"(bound {self.queue.max_depth}); "
+                    f"{victim.priority} load shed"
+                ),
+                arrival_s=victim.arrival_s,
+                started_s=now,
+                finished_s=now,
+            )
+        )
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    # -- request handling ----------------------------------------------------
+
+    def _handle(self, request: ScoreRequest) -> VerdictResponse:
+        started = self.now_s
+        if started > request.deadline_at:
+            return self._expired(request, started)
+        if request.internal:
+            return self._refresh(request, started)
+        state, entry = self.cache.lookup(request.app_id, started)
+        if state == FRESH and entry is not None:
+            return self._from_cache(
+                request, entry, started,
+                rung=RUNG_CACHED,
+                cache_state="negative" if entry.negative else "fresh",
+                reason="verdict cache hit"
+                + (" (negative: authoritative removal)" if entry.negative else ""),
+            )
+        if state == STALE and entry is not None:
+            self._schedule_refresh(request.app_id, started)
+            return self._from_cache(
+                request, entry, started,
+                rung=RUNG_STALE,
+                cache_state="stale",
+                reason=(
+                    f"stale verdict ({entry.age_s(started):.0f}s old) "
+                    "served while a background refresh revalidates"
+                ),
+            )
+        cache_state = "miss" if state == MISS else "expired"
+        return self._score_live(request, started, cache_state)
+
+    def _expired(self, request: ScoreRequest, now: float) -> VerdictResponse:
+        if request.internal:
+            self.cache.abandon_revalidation(request.app_id)
+            self._report.refreshes_expired += 1
+        return VerdictResponse(
+            app_id=request.app_id,
+            outcome=DEADLINE,
+            rung=RUNG_NONE,
+            verdict=None,
+            priority=request.priority,
+            reason=(
+                f"deadline budget ({request.deadline_s:.0f}s) expired "
+                f"{now - request.deadline_at:.0f}s before service started"
+            ),
+            arrival_s=request.arrival_s,
+            started_s=now,
+            finished_s=now,
+        )
+
+    def _schedule_refresh(self, app_id: str, now: float) -> None:
+        if not self.config.revalidate:
+            return
+        if not self.cache.begin_revalidation(app_id):
+            return  # one in flight already
+        refresh = ScoreRequest(
+            app_id=app_id,
+            arrival_s=now,
+            deadline_s=self.config.refresh_deadline_s,
+            priority=REFRESH,
+            sequence=self._next_sequence(),
+        )
+        self._admit(refresh)
+
+    def _from_cache(
+        self,
+        request: ScoreRequest,
+        entry: CacheEntry,
+        started: float,
+        rung: str,
+        cache_state: str,
+        reason: str,
+    ) -> VerdictResponse:
+        self.stats.add_service(self.config.cache_hit_cost_s)
+        return VerdictResponse(
+            app_id=request.app_id,
+            outcome=SERVED,
+            rung=rung,
+            verdict=entry.verdict,
+            risk_score=entry.risk_score,
+            confidence=entry.confidence if rung == RUNG_CACHED else "stale",
+            priority=request.priority,
+            reason=reason,
+            advisories=list(entry.advisories),
+            cache_state=cache_state,
+            arrival_s=request.arrival_s,
+            started_s=started,
+            finished_s=self.now_s,
+        )
+
+    # -- live scoring --------------------------------------------------------
+
+    def _crawl_and_score(
+        self, request: ScoreRequest
+    ) -> tuple[CrawlRecord, int, float, str]:
+        record = self._crawler.crawl_app(
+            request.app_id,
+            deadline_at=request.deadline_at,
+            bulkhead=self._bulkhead,
+            strict_deadline=True,
+        )
+        self.stats.add_service(self.config.score_cost_s)
+        prediction, margin, tier = self._cascade.score_record(record)
+        return record, prediction, margin, tier
+
+    @staticmethod
+    def _crawl_effort(record: CrawlRecord) -> tuple[int, int]:
+        attempts = sum(o.attempts for o in record.outcomes.values())
+        faults = sum(len(o.faults) for o in record.outcomes.values())
+        return attempts, faults
+
+    def _store(self, record: CrawlRecord, entry: CacheEntry) -> None:
+        summary = record.outcomes.get("summary")
+        entry.negative = summary is not None and summary.status == PERMANENT
+        self.cache.store(entry, self.now_s)
+
+    def _score_live(
+        self, request: ScoreRequest, started: float, cache_state: str
+    ) -> VerdictResponse:
+        record, prediction, margin, tier = self._crawl_and_score(request)
+        attempts, faults = self._crawl_effort(record)
+        if tier in _TIER_RUNG:
+            assessment = self._watchdog.assess_record(record)
+            entry = CacheEntry(
+                app_id=request.app_id,
+                verdict=bool(prediction),
+                risk_score=assessment.risk_score,
+                confidence=assessment.confidence,
+                rung=_TIER_RUNG[tier],
+                advisories=list(assessment.advisories),
+            )
+            self._store(record, entry)
+            return VerdictResponse(
+                app_id=request.app_id,
+                outcome=SERVED,
+                rung=_TIER_RUNG[tier],
+                verdict=bool(prediction),
+                risk_score=assessment.risk_score,
+                confidence=assessment.confidence,
+                priority=request.priority,
+                reason=self._degradation_reason(record, tier),
+                advisories=list(assessment.advisories),
+                cache_state=cache_state,
+                arrival_s=request.arrival_s,
+                started_s=started,
+                finished_s=self.now_s,
+                attempts=attempts,
+                faults=faults,
+                record=record,
+            )
+        # The live crawl cannot support even FRAppE Lite: fall back to
+        # any cached verdict (however old), then a summary-only
+        # advisory, then decline to condemn.
+        resort = self.cache.last_resort(request.app_id)
+        if resort is not None:
+            return VerdictResponse(
+                app_id=request.app_id,
+                outcome=SERVED,
+                rung=RUNG_STALE,
+                verdict=resort.verdict,
+                risk_score=resort.risk_score,
+                confidence="stale",
+                priority=request.priority,
+                reason=(
+                    self._degradation_reason(record, tier)
+                    + "; serving the last cached verdict "
+                    f"({resort.age_s(self.now_s):.0f}s old)"
+                ),
+                advisories=list(resort.advisories),
+                cache_state=cache_state,
+                arrival_s=request.arrival_s,
+                started_s=started,
+                finished_s=self.now_s,
+                attempts=attempts,
+                faults=faults,
+                record=record,
+            )
+        if tier == "summary_only":
+            assessment = self._watchdog.assess_record(record)
+            return VerdictResponse(
+                app_id=request.app_id,
+                outcome=SERVED,
+                rung=RUNG_ADVISORY,
+                verdict=bool(prediction),
+                risk_score=assessment.risk_score,
+                confidence=assessment.confidence,
+                priority=request.priority,
+                reason=self._degradation_reason(record, tier)
+                + "; summary-only advisory",
+                advisories=list(assessment.advisories),
+                cache_state=cache_state,
+                arrival_s=request.arrival_s,
+                started_s=started,
+                finished_s=self.now_s,
+                attempts=attempts,
+                faults=faults,
+                record=record,
+            )
+        return VerdictResponse(
+            app_id=request.app_id,
+            outcome=SERVED,
+            rung=RUNG_NONE,
+            verdict=None,
+            risk_score=50.0,
+            confidence=CONFIDENCE_BY_TIER["none"],
+            priority=request.priority,
+            reason=self._degradation_reason(record, tier)
+            + "; no trustworthy evidence — declining to condemn",
+            cache_state=cache_state,
+            arrival_s=request.arrival_s,
+            started_s=started,
+            finished_s=self.now_s,
+            attempts=attempts,
+            faults=faults,
+            record=record,
+        )
+
+    def _refresh(self, request: ScoreRequest, started: float) -> VerdictResponse:
+        """Background revalidation of a stale entry (no client waiting)."""
+        record, prediction, margin, tier = self._crawl_and_score(request)
+        attempts, faults = self._crawl_effort(record)
+        if tier in _TIER_RUNG:
+            assessment = self._watchdog.assess_record(record)
+            entry = CacheEntry(
+                app_id=request.app_id,
+                verdict=bool(prediction),
+                risk_score=assessment.risk_score,
+                confidence=assessment.confidence,
+                rung=_TIER_RUNG[tier],
+                advisories=list(assessment.advisories),
+            )
+            self._store(record, entry)
+            self._report.refreshes_done += 1
+        else:
+            # The refresh crawl came back without trustworthy evidence;
+            # keep the old entry and allow a later retry.
+            self.cache.abandon_revalidation(request.app_id)
+        return VerdictResponse(
+            app_id=request.app_id,
+            outcome=SERVED,
+            rung=_TIER_RUNG.get(tier, RUNG_NONE),
+            verdict=bool(prediction) if tier in _TIER_RUNG else None,
+            priority=REFRESH,
+            reason="background cache revalidation",
+            arrival_s=request.arrival_s,
+            started_s=started,
+            finished_s=self.now_s,
+            attempts=attempts,
+            faults=faults,
+            record=record,
+        )
+
+    @staticmethod
+    def _degradation_reason(record: CrawlRecord, tier: str) -> str:
+        degraded = record.degraded_collections
+        if not degraded:
+            return "all collections crawled"
+        notes = []
+        for collection in degraded:
+            outcome = record.outcomes[collection]
+            kinds = sorted(set(outcome.faults)) or ["gave up"]
+            notes.append(f"{collection} gave up ({', '.join(kinds)})")
+        return "; ".join(notes)
+
+
+def make_service(
+    result,
+    config: ServiceConfig | None = None,
+) -> VerdictService:
+    """Build a :class:`VerdictService` from a pipeline result.
+
+    Trains a :class:`FrappeCascade` on D-Sample when the pipeline did
+    not already build one (fault-free runs train only the full model),
+    and wires a crawler whose transport matches the world's fault
+    configuration — the same faults the batch crawl fought, now fought
+    per-request under deadlines.
+    """
+    cascade = result.cascade
+    if cascade is None:
+        records, labels = result.sample_records()
+        cascade = FrappeCascade(result.extractor).fit(records, labels)
+    world = result.world
+    config = config or ServiceConfig()
+    # The service's retry budget is deliberately smaller than the batch
+    # crawler's: an online caller is waiting, and the per-request
+    # deadline — not the per-app crawl budget — is the true limit.
+    policy = RetryPolicy(max_attempts=config.retry_attempts)
+    crawler = AppCrawler(
+        world,
+        transport=make_crawler(world).transport,
+        retry_policy=policy,
+    )
+    return VerdictService(
+        world,
+        cascade,
+        result.extractor,
+        config=config,
+        crawler=crawler,
+    )

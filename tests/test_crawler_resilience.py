@@ -77,6 +77,12 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(max_attempts=0)
 
+    def test_mandatory_delay_is_the_rate_limit_floor(self):
+        assert RetryPolicy.mandatory_delay(
+            RateLimitError("app", retry_after=42.0)
+        ) == pytest.approx(42.0)
+        assert RetryPolicy.mandatory_delay(TransientServerError("app")) == 0.0
+
 
 class TestCircuitBreaker:
     def test_opens_after_consecutive_failures(self):
@@ -106,6 +112,52 @@ class TestCircuitBreaker:
         assert breaker.state == CircuitBreaker.HALF_OPEN
         breaker.record_success()
         assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        # Interleaved callers at cooldown expiry: the first allow() owns
+        # the half-open probe, every concurrent allow() is rejected.
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=100.0)
+        breaker.record_failure(now_s=0.0)
+        assert breaker.allow(now_s=100.0)  # the probe owner
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert not breaker.allow(now_s=100.0)  # concurrent caller: rejected
+        assert not breaker.allow(now_s=150.0)  # still rejected until resolved
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow(now_s=150.0)  # closed again: everyone admitted
+        assert breaker.allow(now_s=150.0)
+
+    def test_failed_probe_reopens_and_restarts_the_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=100.0)
+        breaker.record_failure(now_s=0.0)
+        assert breaker.allow(now_s=100.0)
+        assert not breaker.allow(now_s=100.0)
+        breaker.record_failure(now_s=100.0)  # the probe itself failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.cooldown_remaining(now_s=100.0) == pytest.approx(100.0)
+        assert not breaker.allow(now_s=150.0)  # fresh cooldown holds
+        # The next cooldown expiry grants a fresh single probe.
+        assert breaker.allow(now_s=200.0)
+        assert not breaker.allow(now_s=200.0)
+
+    def test_probe_ownership_survives_snapshot_restore(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=100.0)
+        breaker.record_failure(now_s=0.0)
+        assert breaker.allow(now_s=100.0)
+        clone = CircuitBreaker(failure_threshold=1, cooldown_s=100.0)
+        clone.restore(breaker.snapshot())
+        assert clone.state == CircuitBreaker.HALF_OPEN
+        assert not clone.allow(now_s=100.0)  # the probe is still in flight
+
+    def test_restore_tolerates_snapshots_without_probe_flag(self):
+        # Checkpoints written before half-open became single-probe lack
+        # the field; restoring them must not crash or invent a probe.
+        breaker = CircuitBreaker()
+        breaker.restore(
+            {"state": "half_open", "consecutive_failures": 0, "opened_at": 5.0}
+        )
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow(now_s=5.0)  # no phantom probe in flight
 
     def test_half_open_probe_failure_reopens(self):
         breaker = CircuitBreaker(failure_threshold=5, cooldown_s=100.0)
@@ -199,6 +251,57 @@ class TestResilientExecutor:
         assert outcome.status == GAVE_UP
         # It gave up rather than paying the 500 s retry-after.
         assert ex.stats.wait_s < 500.0
+
+    def test_hopeless_rate_limit_gives_up_without_sleeping(self):
+        # The retry-after hint alone already overruns the deadline: no
+        # jitter draw can shrink a rate-limit floor, so the executor
+        # must give up on the spot instead of sleeping toward a miss.
+        ex = executor(max_attempts=5)
+        fn = scripted(RateLimitError("app", retry_after=500.0), "payload")
+        outcome = CrawlOutcome("summary")
+        result = ex.call(
+            "summary", "app", fn, outcome, deadline_at=ex.stats.elapsed_s + 60.0
+        )
+        assert result is None
+        assert outcome.status == GAVE_UP
+        assert outcome.attempts == 1  # no doomed second attempt
+        assert fn.state["calls"] == 1
+        assert ex.stats.wait_s == 0.0  # and, critically, no sleep at all
+
+    def test_rate_limit_within_the_deadline_still_waits_and_retries(self):
+        ex = executor(max_attempts=2)
+        fn = scripted(RateLimitError("app", retry_after=30.0), "payload")
+        outcome = CrawlOutcome("summary")
+        result = ex.call(
+            "summary", "app", fn, outcome, deadline_at=ex.stats.elapsed_s + 600.0
+        )
+        assert result == "payload"
+        assert outcome.status == OK
+        assert ex.stats.wait_s >= 30.0
+
+    def test_half_open_concurrent_caller_gets_breaker_open_outcome(self):
+        # A service burst at cooldown expiry: caller one owns the probe;
+        # caller two must be turned away without touching the endpoint.
+        ex = executor(max_attempts=1, failure_threshold=1, cooldown_s=50.0)
+        ex.call(
+            "summary", "a", scripted(TransientServerError("a")),
+            CrawlOutcome("summary"),
+        )
+        breaker = ex.breaker("summary")
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.allow(ex.stats.elapsed_s + 50.0)  # caller one probes
+        ex.stats.add_wait(50.0)
+        untouched = scripted("payload")
+        outcome = CrawlOutcome("summary")
+        assert ex.call("summary", "b", untouched, outcome) is None
+        assert outcome.status == GAVE_UP
+        assert outcome.attempts == 0
+        assert untouched.state["calls"] == 0  # the endpoint was never hit
+        # The probe resolving re-admits traffic.
+        breaker.record_success()
+        assert ex.call(
+            "summary", "c", scripted("payload"), CrawlOutcome("summary")
+        ) == "payload"
 
     def test_jitter_is_deterministic_per_seed(self):
         waits = []

@@ -1,0 +1,182 @@
+"""Chaos tests: the verdict service under overload plus injected faults.
+
+An open-loop workload at a multiple of the service's estimated capacity
+*guarantees* the admission queue fills, so these tests can assert the
+overload contract instead of hoping for it:
+
+* every offered request gets exactly one typed response — served,
+  overloaded, or deadline — and nothing escapes as an exception;
+* the queue never grows past its bound;
+* shedding follows the priority policy (bulk before interactive);
+* the whole thing is a pure function of the seed.
+
+Worlds are built privately (the shared session fixtures must not be
+mutated, and serving advances the world's RNG streams).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ScaleConfig, ServiceConfig
+from repro.core.pipeline import FrappePipeline
+from repro.service import (
+    BULK,
+    DEADLINE,
+    INTERACTIVE,
+    OVERLOADED,
+    RUNGS,
+    SERVED,
+    LoadProfile,
+    estimate_capacity_rps,
+    generate_requests,
+    make_service,
+)
+
+FAULT_RATE = 0.25
+QUEUE_DEPTH = 8
+N_REQUESTS = 150
+OVERLOAD_FACTOR = 2.5
+
+
+def build_result(fault_rate: float = FAULT_RATE):
+    return FrappePipeline(
+        ScaleConfig(scale=0.01, master_seed=424242, fault_rate=fault_rate)
+    ).run(sweep_unlabelled=False)
+
+
+def overload_workload(result, n_requests: int = N_REQUESTS):
+    capacity = estimate_capacity_rps(result.world.schedule)
+    profile = LoadProfile(
+        n_requests=n_requests,
+        rate_rps=capacity * OVERLOAD_FACTOR,
+        interactive_fraction=0.7,
+        pool_size=16,
+        seed=2012,
+    )
+    return generate_requests(sorted(result.bundle.d_sample), profile)
+
+
+def serve_overloaded(result, n_requests: int = N_REQUESTS):
+    service = make_service(
+        result, ServiceConfig(max_queue_depth=QUEUE_DEPTH)
+    )
+    return service.serve(overload_workload(result, n_requests))
+
+
+@pytest.fixture(scope="module")
+def faulty_result():
+    return build_result()
+
+
+@pytest.fixture(scope="module")
+def overload_report(faulty_result):
+    """One overloaded, fault-injected serve run, shared by assertions."""
+    return serve_overloaded(faulty_result)
+
+
+class TestOverloadContract:
+    def test_every_request_has_a_typed_outcome(self, overload_report):
+        report = overload_report
+        assert len(report.responses) == N_REQUESTS
+        for response in report.responses:
+            assert response.outcome in (SERVED, OVERLOADED, DEADLINE)
+            assert response.rung in RUNGS
+            if response.outcome != SERVED:
+                assert response.verdict is None
+                assert response.reason  # the caller is told why
+
+    def test_queue_depth_never_exceeds_the_bound(self, overload_report):
+        assert 0 < overload_report.max_queue_depth <= QUEUE_DEPTH
+        assert overload_report.queue_bound == QUEUE_DEPTH
+
+    def test_overload_actually_sheds(self, overload_report):
+        outcomes = overload_report.outcome_counts()
+        assert outcomes[OVERLOADED] > 0  # open-loop at 2.5x must shed
+        assert outcomes[SERVED] > 0  # but the service is not dead
+
+    def test_shedding_prefers_bulk_over_interactive(self, overload_report):
+        report = overload_report
+        assert report.shed.get(BULK, 0) > 0
+        assert report.shed_rate(BULK) > report.shed_rate(INTERACTIVE)
+
+    def test_admission_accounting_balances(self, overload_report):
+        report = overload_report
+        offered = sum(report.offered.values())
+        assert offered == N_REQUESTS
+        shed = sum(report.shed.values())
+        assert report.outcome_counts()[OVERLOADED] == shed
+
+    def test_cache_absorbs_repeat_traffic(self, overload_report):
+        # pool_size=16 over 150 requests forces repeats; hits happen.
+        hits = (
+            overload_report.cache_hits_fresh + overload_report.cache_hits_stale
+        )
+        assert hits > 0
+
+    def test_faults_were_actually_injected(self, overload_report):
+        assert sum(overload_report.transport["injected"].values()) > 0
+
+    def test_latency_percentiles_are_ordered(self, overload_report):
+        report = overload_report
+        p50 = report.latency_percentile(50)
+        p95 = report.latency_percentile(95)
+        p99 = report.latency_percentile(99)
+        assert 0.0 <= p50 <= p95 <= p99
+        assert report.elapsed_s > 0.0
+        assert report.throughput_rps() > 0.0
+
+    def test_report_summary_renders(self, overload_report):
+        text = overload_report.summary()
+        assert "overloaded=" in text
+        assert "stale=" in text
+
+
+class TestDeterminism:
+    def test_same_seed_same_responses(self):
+        fingerprints = []
+        for _ in range(2):
+            report = serve_overloaded(build_result(), n_requests=60)
+            fingerprints.append(
+                [
+                    (
+                        r.app_id,
+                        r.outcome,
+                        r.rung,
+                        r.verdict,
+                        r.priority,
+                        round(r.arrival_s, 9),
+                        round(r.finished_s, 9),
+                        r.attempts,
+                        r.faults,
+                    )
+                    for r in report.responses
+                ]
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestFaultFreeServeLoop:
+    def test_no_faults_no_overload_everything_served_full(self):
+        result = build_result(fault_rate=0.0)
+        service = make_service(result)
+        capacity = estimate_capacity_rps(result.world.schedule)
+        profile = LoadProfile(
+            n_requests=20,
+            rate_rps=capacity * 0.5,  # under capacity: nothing sheds
+            interactive_fraction=1.0,
+            pool_size=20,
+            seed=7,
+        )
+        requests = generate_requests(sorted(result.bundle.d_sample), profile)
+        report = service.serve(requests)
+        outcomes = report.outcome_counts()
+        assert outcomes[SERVED] == 20
+        assert outcomes[OVERLOADED] == 0
+        assert outcomes[DEADLINE] == 0
+        cascade = service._cascade
+        for response in report.responses:
+            if response.record is None:
+                continue  # cache hit on a repeated app
+            expected = int(cascade.predict([response.record])[0])
+            assert response.verdict == bool(expected)

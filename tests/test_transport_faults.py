@@ -321,3 +321,65 @@ class TestFaultyTransport:
             + stats.injected["server_error"] * transport.plan.error_latency_s
         )
         assert stats.service_s == pytest.approx(expected)
+
+
+class TestTransportStatsThreadSafety:
+    def test_concurrent_mutation_loses_no_updates(self):
+        # The stats object is the service's shared clock; hammer it from
+        # several threads and check the counters balance exactly.
+        import threading
+
+        stats = TransportStats()
+        n_threads, n_ops = 8, 500
+
+        def worker(index: int) -> None:
+            for _ in range(n_ops):
+                stats.add_request()
+                stats.add_service(0.25)
+                stats.add_wait(0.5)
+                stats.add_fault("server_error")
+                stats.add_vanished(f"app-{index}")
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = n_threads * n_ops
+        assert stats.requests == total
+        assert stats.injected["server_error"] == total
+        assert stats.service_s == pytest.approx(0.25 * total)
+        assert stats.wait_s == pytest.approx(0.5 * total)
+        assert stats.elapsed_s == pytest.approx(0.75 * total)
+        assert len(stats.vanished) == n_threads
+
+    def test_snapshot_is_consistent_under_concurrent_writes(self):
+        import threading
+
+        stats = TransportStats()
+        stop = threading.Event()
+
+        def writer() -> None:
+            while not stop.is_set():
+                # service and wait move together; a torn snapshot would
+                # show them out of step.
+                stats.add_service(1.0)
+                stats.add_wait(1.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            for _ in range(200):
+                image = stats.snapshot()
+                assert image["service_s"] >= 0.0
+                assert image["wait_s"] >= 0.0
+                clone = TransportStats()
+                clone.restore(image)
+                assert clone.elapsed_s == pytest.approx(
+                    image["service_s"] + image["wait_s"]
+                )
+        finally:
+            stop.set()
+            thread.join()
