@@ -1,0 +1,40 @@
+"""Regenerate the committed perf baselines.
+
+Thin wrapper over ``repro bench`` (:mod:`repro.bench`) so the baseline
+workflow lives next to the pytest-benchmark suites:
+
+    PYTHONPATH=src python benchmarks/baseline.py            # BENCH_baseline.json (quick)
+    PYTHONPATH=src python benchmarks/baseline.py --full     # BENCH_4.json (acceptance scale)
+
+``BENCH_baseline.json`` is what CI compares against (quick mode, gated
+on machine-independent fast/naive speedup ratios).  ``BENCH_4.json``
+records the acceptance-scale numbers (10K-name clustering, 100K-row
+feature matrices) and is regenerated only when an optimisation lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import main as bench_main
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="acceptance-scale workloads")
+    parser.add_argument("--seed", type=int, default=2012)
+    parser.add_argument("--out", default=None,
+                        help="output path (default depends on --full)")
+    parser.add_argument("--compare", default=None,
+                        help="baseline JSON to gate against")
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    args = parser.parse_args(argv)
+    if args.out is None:
+        args.out = "BENCH_4.json" if args.full else "BENCH_baseline.json"
+    return args
+
+
+if __name__ == "__main__":
+    sys.exit(bench_main(parse_args()))

@@ -74,6 +74,49 @@ def test_perf_name_clustering(benchmark, result):
     assert clustering.n_clusters >= 1
 
 
+def test_perf_name_clustering_at_scale(benchmark):
+    """The fast kernel on a 10K-name skewed corpus (the paper's regime).
+
+    The naive kernel needs minutes here (that comparison lives in
+    ``repro bench --full``); this benchmark tracks the fast kernel's
+    absolute wall time so a pruning regression shows up in CI history.
+    """
+    from repro.bench import _clustering_corpus
+
+    names = _clustering_corpus(10_000, seed=2012)
+
+    def cluster():
+        return cluster_names(names, 0.8, kernel="fast")
+
+    clustering = benchmark.pedantic(cluster, rounds=2, iterations=1)
+    assert clustering.n_clusters >= 1
+
+
+def test_perf_batched_service_throughput(benchmark, result):
+    from repro.config import ServiceConfig
+    from repro.service import LoadProfile, generate_requests, make_service
+
+    app_ids = sorted(result.bundle.d_sample)
+    profile = LoadProfile(
+        n_requests=150, rate_rps=0.5, pool_size=25, seed=2012
+    )
+    requests = generate_requests(app_ids, profile)
+
+    def serve():
+        # serving consumes the shared world's installer RNG; restore it
+        # so every round (and every later benchmark) sees the same state
+        state = result.world.installer.rng_state()
+        try:
+            service = make_service(result, ServiceConfig(batch_size=8))
+            return service.serve(list(requests))
+        finally:
+            result.world.installer.restore_rng_state(state)
+
+    report = benchmark.pedantic(serve, rounds=2, iterations=1)
+    assert len(report.responses) == 150
+    assert max(r.batch_size for r in report.responses) > 1
+
+
 def test_perf_mypagekeeper_scan(benchmark, result):
     classifier = UrlClassifier(result.world.services.blacklist)
     monitor = MyPageKeeper(classifier, result.world.post_log)

@@ -8,6 +8,9 @@ Commands
 ``crawl``        crawl D-Sample under injected faults, report resilience
 ``serve``        drive the online verdict service with an open-loop load
 ``forensics``    run the Sec 6 AppNet investigation
+``bench``        perf-regression harness: time every fast path against
+                 its kept-alive naive reference, write ``BENCH_<n>.json``,
+                 and (with ``--compare``) fail on a >20% ratio regression
 ``export``       write the labelled D-Sample dataset to JSON
 
 ``--fault-rate`` / ``--retry-budget`` apply to every command (all
@@ -65,6 +68,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--resume", action="store_true",
         help="continue the crawl from an existing --checkpoint DIR",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="crawl workers for the batch-parallel scheduler "
+             "(default 1: sequential; any value is byte-identical)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -137,6 +145,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission queue bound (default 16)",
     )
 
+    bench = sub.add_parser(
+        "bench", help="time fast vs reference paths; gate on speedup ratios"
+    )
+    bench.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the JSON report (e.g. BENCH_4.json)",
+    )
+    bench.add_argument(
+        "--full", action="store_true",
+        help="acceptance-scale workloads (10K-name clustering; the "
+             "naive reference alone takes minutes)",
+    )
+    bench.add_argument(
+        "--compare", metavar="BASELINE", default=None,
+        help="fail (exit 1) when a gated speedup ratio regressed vs "
+             "this baseline JSON",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="allowed fractional drop per gated ratio (default 0.2)",
+    )
+
     export = sub.add_parser("export", help="export D-Sample to JSON")
     export.add_argument("output", help="output path (.json)")
     return parser
@@ -151,6 +181,7 @@ def _config(args: argparse.Namespace) -> ScaleConfig:
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        crawl_workers=args.workers,
     )
 
 
@@ -238,7 +269,9 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     try:
-        records = crawler.crawl_many(bundle.d_sample, journal=journal)
+        records = crawler.crawl_many(
+            bundle.d_sample, journal=journal, workers=config.crawl_workers
+        )
     finally:
         if journal is not None:
             journal.close()
@@ -328,6 +361,13 @@ def _cmd_forensics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run the perf-regression harness (see :mod:`repro.bench`)."""
+    from repro.bench import main as bench_main
+
+    return bench_main(args)
+
+
 def _cmd_export(args: argparse.Namespace) -> int:
     from repro.core.pipeline import FrappePipeline
     from repro.io import export_dataset
@@ -346,6 +386,7 @@ _COMMANDS = {
     "crawl": _cmd_crawl,
     "serve": _cmd_serve,
     "forensics": _cmd_forensics,
+    "bench": _cmd_bench,
     "export": _cmd_export,
 }
 

@@ -209,6 +209,10 @@ class ScaleConfig:
     checkpoint_every: int = 64
     #: continue an existing checkpoint instead of refusing to touch it
     resume: bool = False
+    #: crawl workers for the batch-parallel scheduler; 1 = the plain
+    #: sequential loop.  Any value yields byte-identical records (see
+    #: :mod:`repro.crawler.scheduler` for the determinism contract).
+    crawl_workers: int = 1
 
     def __post_init__(self) -> None:
         if not 0 < self.scale <= 1.0:
@@ -224,6 +228,10 @@ class ScaleConfig:
         if self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.crawl_workers < 1:
+            raise ValueError(
+                f"crawl_workers must be >= 1, got {self.crawl_workers}"
             )
         if self.post_scale is None:
             # Posts outnumber apps ~800:1 in the paper; keep laptop runs
@@ -314,11 +322,19 @@ class ServiceConfig:
     cache_hit_cost_s: float = 0.01
     #: simulated CPU cost of feature extraction + SVM evaluation
     score_cost_s: float = 0.05
+    #: queued same-priority requests drained into one batched
+    #: crawl+extract+predict pass per service tick; 1 = the historical
+    #: one-request-per-tick loop, bit-identical to previous releases
+    batch_size: int = 1
 
     def __post_init__(self) -> None:
         if self.max_queue_depth < 1:
             raise ValueError(
                 f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.batch_size < 1:
+            raise ValueError(
+                f"batch_size must be >= 1, got {self.batch_size}"
             )
         for name in (
             "interactive_deadline_s",

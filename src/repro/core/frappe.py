@@ -180,6 +180,33 @@ class FrappeCascade:
         margin = float(self._models[tier].decision_function([record])[0])
         return margin, tier
 
+    def score_batch(
+        self, records: list[CrawlRecord]
+    ) -> list[tuple[int, float, str]]:
+        """(prediction, margin, tier) per record, one model pass per tier.
+
+        Routes records exactly like :meth:`score_record` — same tier
+        choice, same ``margin >= 0`` rule — but amortises the cost:
+        feature extraction and kernel evaluation run once per *tier
+        group*, not once per record.  On a single record this calls the
+        same ``decision_function([record])`` as :meth:`score_record`,
+        so the two are bit-identical at batch size 1.
+        """
+        results: list[tuple[int, float, str]] = [(0, 0.0, "none")] * len(records)
+        by_tier: dict[str, list[int]] = {}
+        for index, record in enumerate(records):
+            by_tier.setdefault(self.tier_of(record), []).append(index)
+        for tier, indices in by_tier.items():
+            if tier == "none":
+                continue
+            margins = self._models[tier].decision_function(
+                [records[i] for i in indices]
+            )
+            for index, margin in zip(indices, margins):
+                value = float(margin)
+                results[index] = (int(value >= 0.0), value, tier)
+        return results
+
     def score_record(self, record: CrawlRecord) -> tuple[int, float, str]:
         """(prediction, margin, tier) for one record, in one pass.
 

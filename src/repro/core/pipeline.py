@@ -135,7 +135,10 @@ class FrappePipeline:
         # describe the whole study and a mid-crawl deletion stays gone.
         crawler = make_crawler(world)
         bundle = DatasetBuilder(world, report).build(
-            crawl=True, crawler=crawler, journal=journal
+            crawl=True,
+            crawler=crawler,
+            journal=journal,
+            workers=world.config.crawl_workers,
         )
         extractor = self.make_extractor(world, bundle)
 
@@ -203,7 +206,9 @@ class FrappePipeline:
         """
         unlabelled = result.bundle.d_total - result.bundle.d_sample
         result.unlabelled_records = crawler.crawl_many(
-            unlabelled, journal=journal
+            unlabelled,
+            journal=journal,
+            workers=result.world.config.crawl_workers,
         )
         ordered = sorted(result.unlabelled_records)
         records = [result.unlabelled_records[a] for a in ordered]

@@ -44,6 +44,7 @@ from repro.crawler.checkpoint import (
     SimulatedCrash,
     atomic_write,
 )
+from repro.crawler.scheduler import CrawlScheduler
 
 __all__ = [
     "CrawlJournal",
@@ -53,6 +54,7 @@ __all__ = [
     "SocialBakers",
     "AppCrawler",
     "CrawlRecord",
+    "CrawlScheduler",
     "make_crawler",
     "outcome_tallies",
     "recovery_rate",

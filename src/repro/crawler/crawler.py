@@ -196,24 +196,35 @@ class AppCrawler:
         missingness — the classifier must degrade, not condemn).  The
         batch crawler keeps the historical lenient behaviour, where
         an exhausted deadline still allows fault-free attempts.
+
+        Internally the whole crawl runs in a fresh *app frame* (time
+        since this call started): the default deadline is the policy
+        budget verbatim and an absolute *deadline_at* is converted on
+        entry.  Frame-relative arithmetic is what lets the
+        batch-parallel scheduler crawl apps in sandboxes and still
+        produce bit-identical records (see
+        :mod:`repro.crawler.scheduler`).
         """
         record = CrawlRecord(app_id=app_id)
+        self._executor.begin_app()
         if deadline_at is None:
-            deadline_at = self.stats.elapsed_s + self._policy.per_app_deadline_s
+            rel_deadline = self._policy.per_app_deadline_s
+        else:
+            rel_deadline = deadline_at - self.stats.elapsed_s
         for crawl, endpoint in (
             (self._crawl_summaries, "summary"),
             (self._crawl_profile_feed, "feed"),
             (self._crawl_install_url, "install"),
         ):
-            if strict_deadline and self.stats.elapsed_s >= deadline_at:
+            if strict_deadline and self.stats.app_elapsed_s >= rel_deadline:
                 record.outcomes[endpoint] = CrawlOutcome(
                     endpoint, status=GAVE_UP, faults=["deadline"]
                 )
                 continue
-            endpoint_deadline = deadline_at
+            endpoint_deadline = rel_deadline
             if bulkhead is not None:
                 endpoint_deadline = bulkhead.endpoint_deadline(
-                    endpoint, self.stats.elapsed_s, deadline_at
+                    endpoint, self.stats.app_elapsed_s, rel_deadline
                 )
             crawl(record, endpoint_deadline)
         return record
@@ -223,6 +234,7 @@ class AppCrawler:
         app_ids: list[str] | set[str],
         journal: "CrawlJournal | None" = None,
         crash_plan: "CrashPlan | None" = None,
+        workers: int = 1,
     ) -> dict[str, CrawlRecord]:
         """Crawl *app_ids* in sorted order, optionally crash-safely.
 
@@ -236,21 +248,19 @@ class AppCrawler:
 
         *crash_plan* injects a :class:`SimulatedCrash` at a configured
         point of the loop (crash-injection tests); ``None`` means never.
+
+        ``workers > 1`` runs the batch-parallel scheduler
+        (:class:`~repro.crawler.scheduler.CrawlScheduler`), whose output
+        — records and all crawler side effects — is byte-identical to
+        this sequential loop by construction.
         """
-        records: dict[str, CrawlRecord] = {}
-        pending: list[str] = []
-        if journal is None:
-            pending = sorted(app_ids)
-        else:
-            journal.validate_fingerprint(self.checkpoint_fingerprint())
-            replayed = journal.records
-            for app_id in sorted(app_ids):
-                if app_id in replayed:
-                    records[app_id] = replayed[app_id]
-                else:
-                    pending.append(app_id)
-            if journal.state is not None:
-                self.restore_state(journal.state)
+        if workers > 1:
+            from repro.crawler.scheduler import CrawlScheduler
+
+            return CrawlScheduler(self, workers=workers).crawl(
+                app_ids, journal=journal, crash_plan=crash_plan
+            )
+        records, pending = self.journal_prologue(app_ids, journal)
         for app_id in pending:
             if crash_plan is not None:
                 crash_plan.advance()
@@ -267,6 +277,35 @@ class AppCrawler:
                     crash_plan.check("after_append")
             records[app_id] = record
         return records
+
+    def journal_prologue(
+        self,
+        app_ids: list[str] | set[str],
+        journal: "CrawlJournal | None",
+    ) -> tuple[dict[str, CrawlRecord], list[str]]:
+        """Split *app_ids* into journal-replayed records and pending IDs.
+
+        With a journal this validates the fingerprint, replays already
+        durable records, and restores the crawler's continuation state —
+        the shared resume prologue of the sequential loop and the
+        batch-parallel scheduler.  Pending IDs come back in canonical
+        (sorted) crawl order.
+        """
+        records: dict[str, CrawlRecord] = {}
+        pending: list[str] = []
+        if journal is None:
+            pending = sorted(app_ids)
+        else:
+            journal.validate_fingerprint(self.checkpoint_fingerprint())
+            replayed = journal.records
+            for app_id in sorted(app_ids):
+                if app_id in replayed:
+                    records[app_id] = replayed[app_id]
+                else:
+                    pending.append(app_id)
+            if journal.state is not None:
+                self.restore_state(journal.state)
+        return records, pending
 
     # -- checkpoint support -----------------------------------------------
 

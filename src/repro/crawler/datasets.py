@@ -118,6 +118,7 @@ class DatasetBuilder:
         crawl: bool = True,
         crawler: AppCrawler | None = None,
         journal: "CrawlJournal | None" = None,
+        workers: int = 1,
     ) -> DatasetBundle:
         """Assemble the bundle, optionally crawling D-Sample.
 
@@ -125,7 +126,9 @@ class DatasetBuilder:
         injection, retry policy); the default is a fault-free crawler.
         Pass *journal* to make the crawl crash-safe: completed records
         become durable as they land and a rebuilt builder resumes from
-        them (see :mod:`repro.crawler.checkpoint`).
+        them (see :mod:`repro.crawler.checkpoint`).  *workers* > 1
+        crawls through the batch-parallel scheduler (byte-identical
+        records; see :mod:`repro.crawler.scheduler`).
         """
         d_total = self._labeler.observed_app_ids()
         whitelist = self._build_whitelist(d_total)
@@ -140,7 +143,9 @@ class DatasetBuilder:
         )
         if crawl:
             crawler = crawler or AppCrawler(self._world)
-            bundle.records = crawler.crawl_many(bundle.d_sample, journal=journal)
+            bundle.records = crawler.crawl_many(
+                bundle.d_sample, journal=journal, workers=workers
+            )
         return bundle
 
     def _build_whitelist(self, d_total: set[str]) -> set[str]:

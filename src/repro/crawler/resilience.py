@@ -174,6 +174,19 @@ class CircuitBreaker:
             self._consecutive_failures = 0
         self._probe_in_flight = False
 
+    def rebase(self, delta_s: float) -> None:
+        """Shift the open timestamp *delta_s* seconds into the past.
+
+        Breaker timestamps live in the executor's *app frame* (time
+        since the current app's crawl started); when a new frame begins,
+        a breaker still open from the previous frame keeps its cooldown
+        schedule by moving its open instant back by the closed frame's
+        extent.  Closed breakers carry no live timestamp and keep their
+        stale value untouched (it is checkpoint-visible).
+        """
+        if self.state != self.CLOSED:
+            self._opened_at -= delta_s
+
     # -- checkpoint support -----------------------------------------------
 
     def snapshot(self) -> dict:
@@ -227,6 +240,16 @@ class ResilientExecutor:
     Jitter is drawn from a stateless per-``(endpoint, app)`` RNG derived
     from the seed, so retry schedules — like fault draws — are
     reproducible regardless of crawl order.
+
+    All clock arithmetic (deadlines, backoff accounting, breaker
+    timestamps, outcome timing) runs in the transport's *app frame* —
+    the time elapsed since :meth:`begin_app` — which every app's crawl
+    integrates from exactly 0.0.  Keeping the arithmetic off the global
+    clock makes an app's crawl bit-reproducible wherever it runs: the
+    batch-parallel scheduler crawls apps in sandboxes and commits them
+    in canonical order relying on exactly this invariance (float
+    addition is not associative, so arithmetic based on the global
+    clock would drift in the last ulp with the clock's base).
     """
 
     def __init__(
@@ -245,6 +268,18 @@ class ResilientExecutor:
         if endpoint not in self.breakers:
             self.breakers[endpoint] = CircuitBreaker()
         return self.breakers[endpoint]
+
+    def begin_app(self) -> None:
+        """Open a new app frame and rebase live breaker timestamps.
+
+        Called at the start of every app's crawl; the closed frame's
+        extent is subtracted from open breakers' timestamps so their
+        cooldown schedules stay anchored to the global timeline.
+        """
+        delta = self.stats.begin_app()
+        if delta:
+            for breaker in self.breakers.values():
+                breaker.rebase(delta)
 
     # -- checkpoint support -----------------------------------------------
     #
@@ -283,16 +318,16 @@ class ResilientExecutor:
         breaker = self.breaker(endpoint)
         rng: np.random.Generator | None = None
         rng_key = f"retry:{endpoint}:{app_id}:{outcome.attempts}"
-        started = self.stats.elapsed_s
+        started = self.stats.app_elapsed_s
         try:
             for attempt in range(self.policy.max_attempts):
-                wait = breaker.cooldown_remaining(self.stats.elapsed_s)
+                wait = breaker.cooldown_remaining(self.stats.app_elapsed_s)
                 if wait > 0.0:
                     if self._past_deadline(deadline_at, wait):
                         self._mark(outcome, GAVE_UP)
                         return None
                     self.stats.add_wait(wait)
-                if not breaker.allow(self.stats.elapsed_s):
+                if not breaker.allow(self.stats.app_elapsed_s):
                     self._mark(outcome, GAVE_UP)
                     return None
                 outcome.attempts += 1
@@ -300,7 +335,7 @@ class ResilientExecutor:
                     result = fn()
                 except TransientGraphApiError as error:
                     outcome.faults.append(error.kind)
-                    breaker.record_failure(self.stats.elapsed_s)
+                    breaker.record_failure(self.stats.app_elapsed_s)
                     if attempt + 1 >= self.policy.max_attempts:
                         self._mark(outcome, GAVE_UP)
                         return None
@@ -332,10 +367,13 @@ class ResilientExecutor:
             self._mark(outcome, GAVE_UP)
             return None
         finally:
-            outcome.elapsed_s += self.stats.elapsed_s - started
+            outcome.elapsed_s += self.stats.app_elapsed_s - started
 
     def _past_deadline(self, deadline_at: float | None, wait: float) -> bool:
-        return deadline_at is not None and self.stats.elapsed_s + wait > deadline_at
+        return (
+            deadline_at is not None
+            and self.stats.app_elapsed_s + wait > deadline_at
+        )
 
     @staticmethod
     def _mark(outcome: CrawlOutcome, status: str) -> None:

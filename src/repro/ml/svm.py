@@ -139,11 +139,27 @@ def _smo(
     c: float,
     tol: float,
     max_passes: int,
+    row_cache: bool = True,
 ) -> tuple[np.ndarray, float, int]:
     """Platt SMO over a precomputed Gram matrix.
 
     Returns ``(alphas, bias, outer_iterations)``.  ``signs`` holds the
     +/-1 labels.
+
+    ``row_cache=True`` (the default) enables two caches in the examine
+    loop's hot path; both are exact identities, so the fitted model is
+    bit-for-bit the same as with ``row_cache=False`` (the tests fit
+    both ways and assert it):
+
+    * the Gram-weighting coefficient vector ``alphas * signs`` used by
+      the error recomputation is maintained incrementally instead of
+      being reallocated on every ``_f_of`` call — the two touched
+      entries get the very same products the full recomputation would;
+    * the examine fallback's scan offset is memoised per
+      ``(i2, len(non_bound))`` — a *fresh* ``default_rng(i2)`` always
+      produces the same first draw for the same bounds, so building one
+      generator per call (the old behaviour, ~tens of microseconds
+      each) only ever recomputed a constant.
     """
     n = len(signs)
     alphas = np.zeros(n)
@@ -151,6 +167,9 @@ def _smo(
     # Error cache: E_i = f(x_i) - y_i; with alphas = 0, f = 0.
     errors = -signs.copy()
     eps = 1e-12
+    # alphas * signs, maintained incrementally when row_cache is on.
+    coef = np.zeros(n)
+    roll_cache: dict[tuple[int, int], int] = {}
 
     def take_step(i1: int, i2: int) -> bool:
         nonlocal bias
@@ -214,12 +233,16 @@ def _smo(
             + delta_bias
         )
         alphas[i1], alphas[i2] = a1, a2
+        if row_cache:
+            coef[i1] = a1 * y1
+            coef[i2] = a2 * y2
         errors[i1] = _f_of(i1) - y1
         errors[i2] = _f_of(i2) - y2
         return True
 
     def _f_of(i: int) -> float:
-        return float((alphas * signs) @ kernel_matrix[:, i] + bias)
+        weights = coef if row_cache else alphas * signs
+        return float(weights @ kernel_matrix[:, i] + bias)
 
     def examine(i2: int) -> bool:
         y2 = signs[i2]
@@ -233,8 +256,27 @@ def _smo(
                 i1 = int(non_bound[np.argmax(np.abs(errors[non_bound] - e2))])
                 if take_step(i1, i2):
                     return True
-            # Fall back to scanning non-bound, then all, points.
-            for i1 in np.roll(non_bound, int(np.random.default_rng(i2).integers(0, max(len(non_bound), 1)))):
+            # Fall back to scanning non-bound, then all, points, from a
+            # seeded random offset.  The draw is a pure function of
+            # (i2, len(non_bound)) — default_rng(i2) is constructed
+            # fresh, so its first draw for given bounds never varies —
+            # and is memoised instead of paying generator construction
+            # on every examine call.
+            if row_cache:
+                roll_key = (i2, len(non_bound))
+                roll = roll_cache.get(roll_key)
+                if roll is None:
+                    roll = int(
+                        np.random.default_rng(i2).integers(
+                            0, max(len(non_bound), 1)
+                        )
+                    )
+                    roll_cache[roll_key] = roll
+            else:
+                roll = int(
+                    np.random.default_rng(i2).integers(0, max(len(non_bound), 1))
+                )
+            for i1 in np.roll(non_bound, roll):
                 if take_step(int(i1), i2):
                     return True
             for i1 in range(n):

@@ -75,6 +75,23 @@ class InstallationService:
             redirect_uri=client.redirect_uri,
         )
 
+    def candidate_clients(self, app: FacebookApp, day: int | None) -> list[FacebookApp]:
+        """The live sibling pool an install visit would rotate over.
+
+        Empty when the app hands out its own ID (no pool, or every
+        sibling deleted).  Pure function of the registry and *day* — it
+        consumes no randomness, so schedulers can predict whether a
+        visit will draw from the rotation RNG without performing it.
+        """
+        if not app.client_id_pool:
+            return []
+        return [
+            sibling
+            for sid in app.client_id_pool
+            if (sibling := self._registry.maybe_get(sid)) is not None
+            and not sibling.is_deleted(day)
+        ]
+
     def _pick_client_app(self, app: FacebookApp, day: int | None) -> FacebookApp:
         """Resolve the client ID the install URL hands out.
 
@@ -82,14 +99,7 @@ class InstallationService:
         siblings are skipped (that is the survivability point of the
         scheme — Sec 4.1.4).
         """
-        if not app.client_id_pool:
-            return app
-        candidates = [
-            sibling
-            for sid in app.client_id_pool
-            if (sibling := self._registry.maybe_get(sid)) is not None
-            and not sibling.is_deleted(day)
-        ]
+        candidates = self.candidate_clients(app, day)
         if not candidates:
             return app
         return candidates[int(self._rng.integers(0, len(candidates)))]

@@ -15,6 +15,10 @@ from typing import Iterator
 
 __all__ = ["Post", "PostLog"]
 
+#: Shared empty multiset returned by :meth:`PostLog.url_counts` for apps
+#: with no links, so the no-copy path allocates nothing.
+_NO_URLS: Counter[str] = Counter()
+
 
 @dataclass(slots=True)
 class Post:
@@ -103,6 +107,15 @@ class PostLog:
     def urls_of_app(self, app_id: str) -> Counter[str]:
         """Multiset of URLs the app has posted."""
         return Counter(self._url_counts_by_app.get(app_id, Counter()))
+
+    def url_counts(self, app_id: str) -> Counter[str]:
+        """Like :meth:`urls_of_app`, but the live internal multiset.
+
+        No copy is made, so batch feature extraction can scan every
+        app's URLs in one pass; callers must treat the result as
+        read-only.
+        """
+        return self._url_counts_by_app.get(app_id, _NO_URLS)
 
     def link_count(self, app_id: str) -> int:
         return sum(self._url_counts_by_app.get(app_id, Counter()).values())

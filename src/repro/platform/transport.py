@@ -227,6 +227,20 @@ class TransportStats:
     service_s: float = 0.0
     wait_s: float = 0.0
     vanished: set[str] = field(default_factory=set)
+    #: the *app frame*: time accumulated since the last
+    #: :meth:`begin_app`.  All deadline/backoff/breaker arithmetic runs
+    #: in this frame, which every crawl integrates from exactly 0.0 —
+    #: that is what makes a sandboxed (batch-parallel) crawl of an app
+    #: bit-identical to the same crawl performed in sequence, where the
+    #: global clock base differs but the app frame does not.
+    app_service_s: float = 0.0
+    app_wait_s: float = 0.0
+    #: when set (sandbox crawls), every service/wait increment is logged
+    #: here in order, so the commit phase can replay the exact global
+    #: floating-point accumulation the sequential loop would perform
+    event_log: list[tuple[str, float]] | None = field(
+        default=None, repr=False, compare=False
+    )
     _lock: threading.RLock = field(
         default_factory=threading.RLock, repr=False, compare=False
     )
@@ -237,6 +251,25 @@ class TransportStats:
         with self._lock:
             return self.service_s + self.wait_s
 
+    @property
+    def app_elapsed_s(self) -> float:
+        """The app-frame clock: time since the last :meth:`begin_app`."""
+        with self._lock:
+            return self.app_service_s + self.app_wait_s
+
+    def begin_app(self) -> float:
+        """Start a new app frame; returns the closed frame's extent.
+
+        The returned delta is how far the old frame ran — callers use it
+        to rebase frame-relative timestamps (breaker open times) into
+        the new frame.
+        """
+        with self._lock:
+            delta = self.app_service_s + self.app_wait_s
+            self.app_service_s = 0.0
+            self.app_wait_s = 0.0
+            return delta
+
     def add_request(self) -> None:
         with self._lock:
             self.requests += 1
@@ -244,10 +277,16 @@ class TransportStats:
     def add_service(self, seconds: float) -> None:
         with self._lock:
             self.service_s += seconds
+            self.app_service_s += seconds
+            if self.event_log is not None:
+                self.event_log.append(("s", seconds))
 
     def add_wait(self, seconds: float) -> None:
         with self._lock:
             self.wait_s += seconds
+            self.app_wait_s += seconds
+            if self.event_log is not None:
+                self.event_log.append(("w", seconds))
 
     def add_fault(self, kind: str) -> None:
         with self._lock:
@@ -276,6 +315,8 @@ class TransportStats:
                 "truncated_feeds": self.truncated_feeds,
                 "service_s": self.service_s,
                 "wait_s": self.wait_s,
+                "app_service_s": self.app_service_s,
+                "app_wait_s": self.app_wait_s,
                 "vanished": sorted(self.vanished),
             }
 
@@ -289,7 +330,38 @@ class TransportStats:
             self.truncated_feeds = int(data["truncated_feeds"])
             self.service_s = float(data["service_s"])
             self.wait_s = float(data["wait_s"])
+            self.app_service_s = float(data.get("app_service_s", 0.0))
+            self.app_wait_s = float(data.get("app_wait_s", 0.0))
             self.vanished = set(data["vanished"])
+
+    def apply_events(self, events: list[tuple[str, float]]) -> None:
+        """Replay a sandbox's :attr:`event_log` onto this accounting.
+
+        Applying the increments one by one — not as a lump sum —
+        reproduces the sequential loop's floating-point accumulation
+        bit for bit (float addition is not associative, so a lump sum
+        would drift in the last ulp).
+        """
+        for kind, seconds in events:
+            if kind == "s":
+                self.add_service(seconds)
+            else:
+                self.add_wait(seconds)
+
+    def merge_counters(self, delta: dict[str, Any]) -> None:
+        """Merge a sandbox's exact (non-clock) tallies from a snapshot.
+
+        Counts are integers and ``vanished`` is a set union, so merging
+        is exact; the clock fields of the snapshot are ignored — they
+        are replayed per increment via :meth:`apply_events` instead.
+        """
+        with self._lock:
+            self.requests += int(delta["requests"])
+            self.injected.update(
+                {kind: int(count) for kind, count in delta["injected"].items()}
+            )
+            self.truncated_feeds += int(delta["truncated_feeds"])
+            self.vanished |= set(delta["vanished"])
 
 
 # -- transports ------------------------------------------------------------
@@ -416,6 +488,32 @@ class FaultyTransport:
                 for endpoint, app_id, count in state.get("call_index", [])
             }
         )
+
+    # -- scheduler support --------------------------------------------------
+    #
+    # The batch-parallel scheduler crawls each app in a sandboxed clone
+    # of this transport and merges the sandbox's bookkeeping back in
+    # canonical order; these accessors are that merge surface.
+
+    def vanished_apps(self) -> frozenset[str]:
+        """Apps this transport has started answering 404 for."""
+        return frozenset(self._vanished)
+
+    def seed_vanished(self, app_ids) -> None:
+        """Adopt vanished-app tombstones (sandbox seeding / commit merge)."""
+        self._vanished |= set(app_ids)
+
+    def call_index_items(self) -> list[tuple[str, str, int]]:
+        """The per-``(endpoint, app)`` call counters, sorted."""
+        return [
+            (endpoint, app_id, count)
+            for (endpoint, app_id), count in sorted(self._call_index.items())
+        ]
+
+    def absorb_call_indexes(self, items: list[tuple[str, str, int]]) -> None:
+        """Advance call counters by a sandboxed crawl's consumption."""
+        for endpoint, app_id, count in items:
+            self._call_index[(endpoint, app_id)] += count
 
     # -- fault machinery ---------------------------------------------------
 

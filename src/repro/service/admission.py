@@ -94,6 +94,24 @@ class AdmissionQueue:
                 return lane.pop(0)
         raise IndexError("pop from an empty AdmissionQueue")
 
+    def pop_batch(self, limit: int) -> list[ScoreRequest]:
+        """Up to *limit* head-lane requests (one priority class, FIFO).
+
+        A batch never mixes priority classes: it drains only the most
+        important non-empty lane, so batching cannot reorder or starve
+        classes relative to :meth:`pop` — and ``pop_batch(1)`` is
+        exactly ``[pop()]``.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        for priority in PRIORITIES:
+            lane = self._lanes[priority]
+            if lane:
+                batch = lane[:limit]
+                del lane[:limit]
+                return batch
+        raise IndexError("pop from an empty AdmissionQueue")
+
     def total_shed(self) -> int:
         return sum(self.shed_counts.values())
 

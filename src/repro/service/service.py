@@ -251,10 +251,9 @@ class VerdictService:
     def drain(self) -> None:
         """Process queued work (notably background refreshes) to empty."""
         while self.queue:
-            request = self.queue.pop()
-            response = self._handle(request)
-            if not request.internal:
-                self._report.responses.append(response)
+            for request, response in self._serve_tick():
+                if not request.internal:
+                    self._report.responses.append(response)
 
     # -- the served workload -----------------------------------------------
 
@@ -287,10 +286,9 @@ class VerdictService:
                     self.stats.add_wait(idle)
                     report.idle_s += idle
                 continue
-            request = self.queue.pop()
-            response = self._handle(request)
-            if not request.internal:
-                report.responses.append(response)
+            for request, response in self._serve_tick():
+                if not request.internal:
+                    report.responses.append(response)
         report.elapsed_s = self.now_s - started_at
         report.offered = {
             priority: count
@@ -352,6 +350,15 @@ class VerdictService:
             return self._expired(request, started)
         if request.internal:
             return self._refresh(request, started)
+        hit, cache_state = self._consult_cache(request, started)
+        if hit is not None:
+            return hit
+        return self._score_live(request, started, cache_state)
+
+    def _consult_cache(
+        self, request: ScoreRequest, started: float
+    ) -> tuple[VerdictResponse | None, str]:
+        """Cache-served response, or the cache state a live crawl records."""
         state, entry = self.cache.lookup(request.app_id, started)
         if state == FRESH and entry is not None:
             return self._from_cache(
@@ -360,7 +367,7 @@ class VerdictService:
                 cache_state="negative" if entry.negative else "fresh",
                 reason="verdict cache hit"
                 + (" (negative: authoritative removal)" if entry.negative else ""),
-            )
+            ), ""
         if state == STALE and entry is not None:
             self._schedule_refresh(request.app_id, started)
             return self._from_cache(
@@ -371,9 +378,84 @@ class VerdictService:
                     f"stale verdict ({entry.age_s(started):.0f}s old) "
                     "served while a background refresh revalidates"
                 ),
-            )
-        cache_state = "miss" if state == MISS else "expired"
-        return self._score_live(request, started, cache_state)
+            ), ""
+        return None, ("miss" if state == MISS else "expired")
+
+    # -- batched ticks -------------------------------------------------------
+
+    def _serve_tick(self) -> list[tuple[ScoreRequest, VerdictResponse]]:
+        """Drain one scheduling tick of the queue.
+
+        With ``batch_size <= 1`` (or only one request queued) this is
+        exactly one :meth:`AdmissionQueue.pop` plus :meth:`_handle` —
+        the unbatched code path, bit for bit.  Otherwise it drains up to
+        ``batch_size`` head-lane requests and handles them as one batch.
+        """
+        if self.config.batch_size <= 1:
+            request = self.queue.pop()
+            return [(request, self._handle(request))]
+        batch = self.queue.pop_batch(self.config.batch_size)
+        if len(batch) == 1:
+            return [(batch[0], self._handle(batch[0]))]
+        return self._handle_batch(batch)
+
+    def _handle_batch(
+        self, batch: list[ScoreRequest]
+    ) -> list[tuple[ScoreRequest, VerdictResponse]]:
+        """Handle one drained batch with a single classification pass.
+
+        Per-request admission semantics are unchanged — deadline checks,
+        cache consults, and crawls happen request by request on the
+        simulated clock, in FIFO order.  What is batched is the scoring:
+        every live crawl of the tick goes through one
+        :meth:`FrappeCascade.score_batch` call, and the per-request
+        ``score_cost_s`` is charged once for the whole batch.  All of
+        the tick's responses complete together (at the tick's end) and
+        record the drained batch size.
+        """
+        size = len(batch)
+        staged: list[tuple[ScoreRequest, VerdictResponse | None]] = []
+        live: list[tuple[int, float, str | None]] = []
+        records: list[CrawlRecord] = []
+        for request in batch:
+            started = self.now_s
+            if started > request.deadline_at:
+                staged.append((request, self._expired(request, started)))
+                continue
+            if request.internal:
+                records.append(self._crawl_request(request))
+                live.append((len(staged), started, None))
+                staged.append((request, None))
+                continue
+            hit, cache_state = self._consult_cache(request, started)
+            if hit is not None:
+                staged.append((request, hit))
+                continue
+            records.append(self._crawl_request(request))
+            live.append((len(staged), started, cache_state))
+            staged.append((request, None))
+        if live:
+            self.stats.add_service(self.config.score_cost_s)
+            scored = self._cascade.score_batch(records)
+            for (index, started, cache_state), record, (prediction, _, tier) in zip(
+                live, records, scored
+            ):
+                request = staged[index][0]
+                if cache_state is None:
+                    response = self._finish_refresh(
+                        request, started, record, prediction, tier
+                    )
+                else:
+                    response = self._respond_live(
+                        request, started, cache_state, record, prediction, tier
+                    )
+                staged[index] = (request, response)
+        results: list[tuple[ScoreRequest, VerdictResponse]] = []
+        for request, response in staged:
+            assert response is not None
+            response.batch_size = size
+            results.append((request, response))
+        return results
 
     def _expired(self, request: ScoreRequest, now: float) -> VerdictResponse:
         if request.internal:
@@ -436,15 +518,18 @@ class VerdictService:
 
     # -- live scoring --------------------------------------------------------
 
-    def _crawl_and_score(
-        self, request: ScoreRequest
-    ) -> tuple[CrawlRecord, int, float, str]:
-        record = self._crawler.crawl_app(
+    def _crawl_request(self, request: ScoreRequest) -> CrawlRecord:
+        return self._crawler.crawl_app(
             request.app_id,
             deadline_at=request.deadline_at,
             bulkhead=self._bulkhead,
             strict_deadline=True,
         )
+
+    def _crawl_and_score(
+        self, request: ScoreRequest
+    ) -> tuple[CrawlRecord, int, float, str]:
+        record = self._crawl_request(request)
         self.stats.add_service(self.config.score_cost_s)
         prediction, margin, tier = self._cascade.score_record(record)
         return record, prediction, margin, tier
@@ -464,6 +549,19 @@ class VerdictService:
         self, request: ScoreRequest, started: float, cache_state: str
     ) -> VerdictResponse:
         record, prediction, margin, tier = self._crawl_and_score(request)
+        return self._respond_live(
+            request, started, cache_state, record, prediction, tier
+        )
+
+    def _respond_live(
+        self,
+        request: ScoreRequest,
+        started: float,
+        cache_state: str,
+        record: CrawlRecord,
+        prediction: int,
+        tier: str,
+    ) -> VerdictResponse:
         attempts, faults = self._crawl_effort(record)
         if tier in _TIER_RUNG:
             assessment = self._watchdog.assess_record(record)
@@ -564,6 +662,16 @@ class VerdictService:
     def _refresh(self, request: ScoreRequest, started: float) -> VerdictResponse:
         """Background revalidation of a stale entry (no client waiting)."""
         record, prediction, margin, tier = self._crawl_and_score(request)
+        return self._finish_refresh(request, started, record, prediction, tier)
+
+    def _finish_refresh(
+        self,
+        request: ScoreRequest,
+        started: float,
+        record: CrawlRecord,
+        prediction: int,
+        tier: str,
+    ) -> VerdictResponse:
         attempts, faults = self._crawl_effort(record)
         if tier in _TIER_RUNG:
             assessment = self._watchdog.assess_record(record)

@@ -165,6 +165,9 @@ class VerdictResponse:
     #: cache hits and shed requests)
     attempts: int = 0
     faults: int = 0
+    #: how many requests the serving tick drained together (1 when the
+    #: service runs unbatched; all responses of one batch share a value)
+    batch_size: int = 1
     #: the record the live crawl produced (None for cache hits and shed
     #: requests) — kept so equivalence against the batch classifier is
     #: checkable on exactly the evidence the service saw

@@ -12,6 +12,12 @@ from repro.text.editdist import (
     name_similarity,
     unrestricted_damerau_levenshtein,
 )
+from repro.text.fastdist import (
+    bounded_osa,
+    fast_damerau_levenshtein,
+    myers_levenshtein,
+    similar,
+)
 from repro.text.clustering import NameClustering, cluster_names
 from repro.text.typosquat import is_typosquat, strip_version_suffix
 
@@ -20,6 +26,10 @@ __all__ = [
     "levenshtein",
     "name_similarity",
     "unrestricted_damerau_levenshtein",
+    "bounded_osa",
+    "fast_damerau_levenshtein",
+    "myers_levenshtein",
+    "similar",
     "NameClustering",
     "cluster_names",
     "is_typosquat",

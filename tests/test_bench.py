@@ -1,0 +1,77 @@
+"""The perf harness's regression gate (:func:`repro.bench.compare`).
+
+The measuring half of the harness is exercised by ``repro bench`` in
+CI; these tests pin the comparison semantics the CI job relies on:
+ratios may wobble within the tolerance, a drop beyond it fails, a
+missing gate fails loudly, and reports from different modes refuse to
+compare (their workloads differ, so their ratios do too).
+"""
+
+from __future__ import annotations
+
+from repro.bench import GATED_COMPONENTS, compare
+
+
+def report(mode="quick", **gates):
+    return {"mode": mode, "gates": gates}
+
+
+def test_equal_reports_pass():
+    baseline = report(feature_matrix_speedup=10.0, name_clustering_speedup=60.0)
+    assert compare(baseline, baseline) == []
+
+
+def test_wobble_within_tolerance_passes():
+    baseline = report(feature_matrix_speedup=10.0)
+    current = report(feature_matrix_speedup=8.1)  # -19%, tolerance 20%
+    assert compare(current, baseline) == []
+
+
+def test_drop_beyond_tolerance_fails():
+    baseline = report(feature_matrix_speedup=10.0)
+    current = report(feature_matrix_speedup=7.9)  # -21%
+    failures = compare(current, baseline)
+    assert len(failures) == 1
+    assert "feature_matrix_speedup" in failures[0]
+
+
+def test_tolerance_is_configurable():
+    baseline = report(feature_matrix_speedup=10.0)
+    current = report(feature_matrix_speedup=9.4)
+    assert compare(current, baseline, tolerance=0.1) == []
+    assert compare(current, baseline, tolerance=0.05) != []
+
+
+def test_missing_gate_fails():
+    baseline = report(feature_matrix_speedup=10.0, name_clustering_speedup=60.0)
+    current = report(feature_matrix_speedup=10.0)
+    failures = compare(current, baseline)
+    assert any("name_clustering_speedup" in f for f in failures)
+
+
+def test_extra_current_gates_pass_trivially():
+    baseline = report(feature_matrix_speedup=10.0)
+    current = report(feature_matrix_speedup=10.0, brand_new_speedup=1.0)
+    assert compare(current, baseline) == []
+
+
+def test_mode_mismatch_fails():
+    baseline = report(mode="full", feature_matrix_speedup=10.0)
+    current = report(mode="quick", feature_matrix_speedup=10.0)
+    failures = compare(current, baseline)
+    assert any("mode mismatch" in f for f in failures)
+
+
+def test_improvements_never_fail():
+    baseline = report(feature_matrix_speedup=10.0)
+    current = report(feature_matrix_speedup=300.0)
+    assert compare(current, baseline) == []
+
+
+def test_gated_components_are_the_stable_big_ratios():
+    # smo (~1x) and batched_service (~1.1x) are informational: a 20%
+    # band around a ratio near 1 is noise, not signal
+    assert "smo" not in GATED_COMPONENTS
+    assert "batched_service" not in GATED_COMPONENTS
+    assert "feature_matrix" in GATED_COMPONENTS
+    assert "name_clustering" in GATED_COMPONENTS

@@ -2,6 +2,7 @@
 
 from collections import Counter
 
+import numpy as np
 import pytest
 
 from repro.core.features import (
@@ -130,6 +131,28 @@ class TestVectors:
         matrix = extractor.matrix(records)
         assert matrix.shape == (2, len(ALL_FEATURES))
         assert extractor.matrix([], ALL_FEATURES).shape == (0, len(ALL_FEATURES))
+
+    def test_matrix_bit_identical_to_vector_stack(self, extractor):
+        """The batched columns must reproduce vector() exactly."""
+        records = [
+            _record(description="d", company="c", category="Games"),
+            _record(app_id="y", name="Solo App"),
+            _record(inst_ok=True, redirect_uri="http://spam.com/lp",
+                    permissions=("publish_stream", "email"),
+                    observed_client_id="zzz"),
+            _record(inst_ok=True, redirect_uri="http://spam.com/lp"),
+            _record(app_id="unseen-app", name=None, summary_ok=False),
+            _record(feed_ok=True, profile_posts=[{"message": "hi"}]),
+        ]
+        for features in (ALL_FEATURES, ON_DEMAND_FEATURES, ("wot_score",)):
+            reference = np.vstack([extractor.vector(r, features) for r in records])
+            batched = extractor.matrix(records, features)
+            assert batched.dtype == reference.dtype
+            assert np.array_equal(batched, reference)
+
+    def test_matrix_unknown_feature_rejected(self, extractor):
+        with pytest.raises(KeyError):
+            extractor.matrix([_record()], ("bogus",))
 
     def test_unknown_feature_rejected(self, extractor):
         with pytest.raises(KeyError):

@@ -140,3 +140,49 @@ class TestSvc:
         y = np.array([0] * 5 + [1] * 5)
         model = SVC().fit(x, y)
         assert (model.predict(x) == y).all()
+
+
+class TestSmoRowCache:
+    """The examine-loop caches are identities, not approximations.
+
+    ``row_cache=True`` maintains ``alphas * signs`` incrementally and
+    memoises the fallback scan's RNG roll; both must leave the SMO
+    trajectory — every alpha, the bias, the iteration count — bit-for-
+    bit what the uncached reference path produces.
+    """
+
+    def _fit_both(self, x, y, c=1.0):
+        from repro.ml.svm import _smo
+
+        signs = np.where(y == 1, 1.0, -1.0)
+        kernel_matrix = rbf_kernel(x, x, gamma=1.0 / x.shape[1])
+        cached = _smo(kernel_matrix, signs, c, 1e-3, 200, row_cache=True)
+        reference = _smo(kernel_matrix, signs, c, 1e-3, 200, row_cache=False)
+        return cached, reference
+
+    def test_identical_on_separable_data(self, rng):
+        x, y = _blobs(rng, n=120, separation=3.0)
+        (alphas, bias, iters), (ref_alphas, ref_bias, ref_iters) = (
+            self._fit_both(x, y)
+        )
+        assert np.array_equal(alphas, ref_alphas)
+        assert bias == ref_bias
+        assert iters == ref_iters
+
+    def test_identical_on_overlapping_data(self, rng):
+        # heavy class overlap exercises the fallback scan (and thus the
+        # memoised roll) far more than the separable case
+        x, y = _blobs(rng, n=160, separation=0.4, d=6)
+        (alphas, bias, iters), (ref_alphas, ref_bias, ref_iters) = (
+            self._fit_both(x, y)
+        )
+        assert np.array_equal(alphas, ref_alphas)
+        assert bias == ref_bias
+        assert iters == ref_iters
+
+    def test_decision_values_identical_through_svc(self, rng):
+        x, y = _blobs(rng, n=100, separation=1.0)
+        probe = rng.normal(0.5, 1.5, size=(30, x.shape[1]))
+        values = SVC().fit(x, y).decision_function(probe)
+        again = SVC().fit(x, y).decision_function(probe)
+        assert np.array_equal(values, again)
