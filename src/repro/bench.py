@@ -23,8 +23,10 @@ Workloads are pure functions of the seed; only the measured wall time
 from __future__ import annotations
 
 import json
+import os
 import platform
 import random
+import sys
 import time
 from typing import Any, Callable
 
@@ -277,7 +279,8 @@ def run_bench(mode: str = "quick", seed: int = 2012) -> dict[str, Any]:
         ),
     }
     return {
-        "bench_version": BENCH_VERSION,
+        "schema_version": BENCH_VERSION,
+        "bench_version": BENCH_VERSION,  # legacy alias for old tooling
         "mode": mode,
         "seed": seed,
         "python": platform.python_version(),
@@ -354,6 +357,16 @@ def main(args) -> int:
             handle.write("\n")
         print(f"wrote {args.out}")
     if args.compare:
+        # A missing baseline is a first-run / fresh-checkout situation,
+        # not a regression: warn and pass so CI can bootstrap the
+        # baseline instead of tracebacking.
+        if not os.path.exists(args.compare):
+            print(
+                f"warning: baseline {args.compare} not found; skipping "
+                "the regression gate (write one with --out)",
+                file=sys.stderr,
+            )
+            return 0
         with open(args.compare, encoding="utf-8") as handle:
             baseline = json.load(handle)
         failures = compare(report, baseline, tolerance=args.tolerance)

@@ -12,6 +12,14 @@ Commands
                  its kept-alive naive reference, write ``BENCH_<n>.json``,
                  and (with ``--compare``) fail on a >20% ratio regression
 ``export``       write the labelled D-Sample dataset to JSON
+``obs``          replay an exported trace: causal tree or per-stage summary
+
+``--trace FILE`` / ``--metrics FILE`` / ``--profile`` turn observation
+on for any command: the run is instrumented through ``repro.obs`` (its
+outputs stay byte-identical — the tracer only *watches*), the canonical
+trace goes to FILE, metrics go to FILE (JSONL) plus ``FILE`` with a
+``.prom`` suffix (Prometheus-style text), and ``--profile`` prints the
+per-stage CPU/simulated-cost table to stderr.
 
 ``--fault-rate`` / ``--retry-budget`` apply to every command (all
 crawling runs through the configured transport); ``crawl`` also accepts
@@ -73,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="crawl workers for the batch-parallel scheduler "
              "(default 1: sequential; any value is byte-identical)",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="instrument the run and export the canonical trace (JSONL) "
+             "to FILE; command outputs stay byte-identical",
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", default=None,
+        help="instrument the run and export metrics to FILE (JSONL) "
+             "plus the same path with a .prom suffix (Prometheus text)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="print the per-stage CPU/simulated-cost table to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -169,6 +191,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     export = sub.add_parser("export", help="export D-Sample to JSON")
     export.add_argument("output", help="output path (.json)")
+
+    obs = sub.add_parser(
+        "obs", help="replay an exported trace (causal tree or summary)"
+    )
+    obs.add_argument("trace_file", help="trace JSONL written by --trace")
+    obs.add_argument(
+        "--tree", action="store_true",
+        help="render the causal span tree instead of the summary table",
+    )
+    obs.add_argument(
+        "--category", default=None,
+        help="restrict the tree to one category (crawl/serve/train/...)",
+    )
+    obs.add_argument(
+        "--key", default=None,
+        help="restrict the tree to root spans whose key contains this",
+    )
+    obs.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="show at most N root spans in the tree",
+    )
     return parser
 
 
@@ -379,6 +422,20 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    """Replay a ``--trace`` file: causal tree or per-stage summary."""
+    from repro.obs import load_trace, render_summary, render_tree
+
+    roots = load_trace(args.trace_file)
+    if args.tree:
+        print(render_tree(
+            roots, category=args.category, key=args.key, limit=args.limit
+        ))
+    else:
+        print(render_summary(roots))
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "experiments": _cmd_experiments,
@@ -388,12 +445,40 @@ _COMMANDS = {
     "forensics": _cmd_forensics,
     "bench": _cmd_bench,
     "export": _cmd_export,
+    "obs": _cmd_obs,
 }
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    wants_obs = bool(
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "profile", False)
+    )
+    if not wants_obs or args.command == "obs":
+        return _COMMANDS[args.command](args)
+
+    from pathlib import Path
+
+    from repro.obs import TracingObserver, observation
+
+    observer = TracingObserver()
+    with observation(observer):
+        code = _COMMANDS[args.command](args)
+    if args.trace:
+        Path(args.trace).parent.mkdir(parents=True, exist_ok=True)
+        path = observer.tracer.export(args.trace)
+        print(f"trace:      {path}", file=sys.stderr)
+    if args.metrics:
+        jsonl = Path(args.metrics)
+        jsonl.parent.mkdir(parents=True, exist_ok=True)
+        prom = jsonl.with_suffix(".prom")
+        observer.metrics.export(jsonl_path=jsonl, prometheus_path=prom)
+        print(f"metrics:    {jsonl} + {prom}", file=sys.stderr)
+    if args.profile:
+        print(observer.profiler.render(), file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

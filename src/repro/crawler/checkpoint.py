@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.crawler.crawler import COLLECTIONS, CrawlRecord
 from repro.crawler.resilience import CrawlOutcome
+from repro.obs.observer import get_observer
 from repro.rng import derive_seed
 
 __all__ = [
@@ -582,6 +583,21 @@ class CrawlJournal:
         self._records[record.app_id] = payload["record"]
         self._state = state
         self._since_compact += 1
+        obs = get_observer()
+        if obs.enabled:
+            obs.event(
+                "journal.append",
+                t=self._journal_clock(state),
+                category="checkpoint",
+                app_id=record.app_id,
+                line_bytes=len(line),
+            )
+            obs.count("journal_appends_total")
+            obs.observe(
+                "journal_line_bytes",
+                float(len(line)),
+                edges=(1024.0, 4096.0, 16384.0, 65536.0, 262144.0),
+            )
         if self._since_compact >= self.snapshot_every:
             self.compact()
 
@@ -610,6 +626,26 @@ class CrawlJournal:
             self._fh.close()
         self._fh = open(self.journal_path, "wb")  # truncate: snapshot owns it
         self._since_compact = 0
+        obs = get_observer()
+        if obs.enabled:
+            obs.event(
+                "journal.compact",
+                t=self._journal_clock(self._state),
+                category="checkpoint",
+                records=len(self._records),
+            )
+            obs.count("journal_compactions_total")
+
+    @staticmethod
+    def _journal_clock(state: dict | None) -> float:
+        """The global simulated clock carried by a journaled crawler state.
+
+        The journal has no clock of its own; timestamps for its trace
+        events come from the transport accounting in the state that
+        rides along with every append.
+        """
+        stats = (state or {}).get("transport", {}).get("stats", {})
+        return float(stats.get("service_s", 0.0)) + float(stats.get("wait_s", 0.0))
 
     def close(self) -> None:
         if self._fh is not None:

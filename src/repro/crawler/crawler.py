@@ -38,6 +38,7 @@ from repro.crawler.resilience import (
     ResilientExecutor,
     RetryPolicy,
 )
+from repro.obs.observer import get_observer
 from repro.platform.transport import (
     DirectTransport,
     FaultPlan,
@@ -207,26 +208,61 @@ class AppCrawler:
         """
         record = CrawlRecord(app_id=app_id)
         self._executor.begin_app()
-        if deadline_at is None:
-            rel_deadline = self._policy.per_app_deadline_s
-        else:
-            rel_deadline = deadline_at - self.stats.elapsed_s
-        for crawl, endpoint in (
-            (self._crawl_summaries, "summary"),
-            (self._crawl_profile_feed, "feed"),
-            (self._crawl_install_url, "install"),
-        ):
-            if strict_deadline and self.stats.app_elapsed_s >= rel_deadline:
-                record.outcomes[endpoint] = CrawlOutcome(
-                    endpoint, status=GAVE_UP, faults=["deadline"]
-                )
-                continue
-            endpoint_deadline = rel_deadline
-            if bulkhead is not None:
-                endpoint_deadline = bulkhead.endpoint_deadline(
-                    endpoint, self.stats.app_elapsed_s, rel_deadline
-                )
-            crawl(record, endpoint_deadline)
+        obs = get_observer()
+        # The app frame opens at exactly 0.0, so the root span's t_start
+        # is a literal — no clock read on the disabled path.
+        with obs.span("crawl.app", key=app_id, category="crawl", t=0.0) as span, \
+                obs.profile("crawl"):
+            if deadline_at is None:
+                rel_deadline = self._policy.per_app_deadline_s
+            else:
+                rel_deadline = deadline_at - self.stats.elapsed_s
+            for crawl, endpoint in (
+                (self._crawl_summaries, "summary"),
+                (self._crawl_profile_feed, "feed"),
+                (self._crawl_install_url, "install"),
+            ):
+                if strict_deadline and self.stats.app_elapsed_s >= rel_deadline:
+                    record.outcomes[endpoint] = CrawlOutcome(
+                        endpoint, status=GAVE_UP, faults=["deadline"]
+                    )
+                    if obs.enabled:
+                        obs.event(
+                            "crawl.deadline_skip",
+                            t=self.stats.app_elapsed_s,
+                            endpoint=endpoint,
+                            app_id=app_id,
+                        )
+                        obs.count("crawl_deadline_skips_total", endpoint=endpoint)
+                    continue
+                endpoint_deadline = rel_deadline
+                if bulkhead is not None:
+                    endpoint_deadline = bulkhead.endpoint_deadline(
+                        endpoint, self.stats.app_elapsed_s, rel_deadline
+                    )
+                if obs.enabled:
+                    with obs.span(
+                        f"crawl.{endpoint}",
+                        key=app_id,
+                        category="crawl",
+                        t=self.stats.app_elapsed_s,
+                    ) as child:
+                        crawl(record, endpoint_deadline)
+                        child.end(self.stats.app_elapsed_s)
+                        outcome = record.outcomes.get(endpoint)
+                        if outcome is not None:
+                            child.note(
+                                status=outcome.status, attempts=outcome.attempts
+                            )
+                else:
+                    crawl(record, endpoint_deadline)
+            if obs.enabled:
+                elapsed = self.stats.app_elapsed_s
+                span.end(elapsed)
+                span.note(degraded=record.degraded, complete=record.complete)
+                obs.count("crawl_apps_total")
+                obs.observe("crawl_app_seconds", elapsed)
+                obs.sim_cost("crawl", elapsed)
         return record
 
     def crawl_many(

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.observer import get_observer
 from repro.platform.graph_api import GraphApiError
 from repro.platform.install import AppRemovedError
 from repro.platform.transport import (
@@ -316,6 +317,7 @@ class ResilientExecutor:
         an exhausted budget, PERMANENT an authoritative removal.
         """
         breaker = self.breaker(endpoint)
+        obs = get_observer()
         rng: np.random.Generator | None = None
         rng_key = f"retry:{endpoint}:{app_id}:{outcome.attempts}"
         started = self.stats.app_elapsed_s
@@ -327,15 +329,49 @@ class ResilientExecutor:
                         self._mark(outcome, GAVE_UP)
                         return None
                     self.stats.add_wait(wait)
-                if not breaker.allow(self.stats.app_elapsed_s):
+                    if obs.enabled:
+                        obs.event(
+                            "breaker.cooldown_wait",
+                            t=self.stats.app_elapsed_s,
+                            endpoint=endpoint,
+                            app_id=app_id,
+                            wait_s=wait,
+                        )
+                        obs.observe("breaker_cooldown_wait_seconds", wait)
+                before = breaker.state
+                allowed = breaker.allow(self.stats.app_elapsed_s)
+                if obs.enabled:
+                    self._note_transition(obs, endpoint, app_id, before, breaker)
+                if not allowed:
                     self._mark(outcome, GAVE_UP)
                     return None
                 outcome.attempts += 1
+                if obs.enabled:
+                    obs.event(
+                        "retry.attempt",
+                        t=self.stats.app_elapsed_s,
+                        endpoint=endpoint,
+                        app_id=app_id,
+                        attempt=attempt,
+                    )
+                    obs.count("retry_attempts_total", endpoint=endpoint)
                 try:
                     result = fn()
                 except TransientGraphApiError as error:
                     outcome.faults.append(error.kind)
+                    before = breaker.state
                     breaker.record_failure(self.stats.app_elapsed_s)
+                    if obs.enabled:
+                        obs.event(
+                            "retry.fault",
+                            t=self.stats.app_elapsed_s,
+                            endpoint=endpoint,
+                            app_id=app_id,
+                            kind=error.kind,
+                            attempt=attempt,
+                        )
+                        obs.count("retry_faults_total", kind=error.kind)
+                        self._note_transition(obs, endpoint, app_id, before, breaker)
                     if attempt + 1 >= self.policy.max_attempts:
                         self._mark(outcome, GAVE_UP)
                         return None
@@ -354,20 +390,60 @@ class ResilientExecutor:
                         self._mark(outcome, GAVE_UP)
                         return None
                     self.stats.add_wait(delay)
+                    if obs.enabled:
+                        obs.event(
+                            "retry.backoff",
+                            t=self.stats.app_elapsed_s,
+                            endpoint=endpoint,
+                            app_id=app_id,
+                            delay_s=delay,
+                        )
+                        obs.observe("retry_backoff_seconds", delay)
                 except (AppRemovedError, GraphApiError):
                     # Authoritative: the app is gone.  The endpoint is
                     # healthy (it answered), so the breaker resets.
+                    before = breaker.state
                     breaker.record_success()
+                    if obs.enabled:
+                        self._note_transition(obs, endpoint, app_id, before, breaker)
                     self._mark(outcome, PERMANENT)
                     return None
                 else:
+                    before = breaker.state
                     breaker.record_success()
+                    if obs.enabled:
+                        self._note_transition(obs, endpoint, app_id, before, breaker)
                     outcome.status = OK
                     return result
             self._mark(outcome, GAVE_UP)
             return None
         finally:
             outcome.elapsed_s += self.stats.app_elapsed_s - started
+
+    def _note_transition(
+        self,
+        obs,
+        endpoint: str,
+        app_id: str,
+        before: str,
+        breaker: CircuitBreaker,
+    ) -> None:
+        """Emit a ``breaker.transition`` event if the state just changed."""
+        if breaker.state == before:
+            return
+        obs.event(
+            "breaker.transition",
+            t=self.stats.app_elapsed_s,
+            endpoint=endpoint,
+            app_id=app_id,
+            from_state=before,
+            to_state=breaker.state,
+        )
+        obs.count(
+            "breaker_transitions_total",
+            endpoint=endpoint,
+            to_state=breaker.state,
+        )
 
     def _past_deadline(self, deadline_at: float | None, wait: float) -> bool:
         return (

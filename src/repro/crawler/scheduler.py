@@ -65,6 +65,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.crawler.crawler import AppCrawler, CrawlRecord
 from repro.crawler.resilience import CircuitBreaker
+from repro.obs.observer import get_observer
 from repro.platform.install import AppRemovedError, InstallPrompt
 from repro.platform.transport import (
     DirectTransport,
@@ -314,18 +315,40 @@ class CrawlScheduler:
             for future in [pool.submit(run_partition, s) for s in shards]:
                 future.result()
 
+        obs = get_observer()
         for app_id in pending:
             if self._valid(speculations[app_id]):
                 record = self._commit(speculations[app_id])
                 self.committed_speculative += 1
+                mode = "speculative"
             else:
                 # A previous app left a breaker non-pristine: the
                 # speculation's premise is wrong, so crawl this app
                 # inline against the true state (exact, just not
-                # parallel) and let later apps re-validate.
+                # parallel) and let later apps re-validate.  The inline
+                # crawl also re-records the app's trace root, so —
+                # last recording wins — the surviving span is the one
+                # whose record was committed, as in a sequential run.
                 record = self._crawler.crawl_app(app_id)
                 self.recrawled_inline += 1
+                mode = "inline"
+            if obs.enabled:
+                obs.event(
+                    "schedule.commit",
+                    t=self._crawler.stats.elapsed_s,
+                    category="schedule",
+                    app_id=app_id,
+                    mode=mode,
+                    workers=self.workers,
+                )
+                obs.count("schedule_commits_total", mode=mode)
             if journal is not None:
                 journal.append(record, self._crawler.snapshot_state())
             records[app_id] = record
+        if obs.enabled:
+            obs.gauge(
+                "schedule_committed_speculative",
+                float(self.committed_speculative),
+            )
+            obs.gauge("schedule_recrawled_inline", float(self.recrawled_inline))
         return records

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.kernels import polynomial_kernel, rbf_kernel, linear_kernel
+from repro.obs.observer import get_observer
 
 __all__ = ["SVC"]
 
@@ -101,15 +102,37 @@ class SVC:
         self._gamma_value = self._resolve_gamma(x)
 
         signs = np.where(y == 1, 1.0, -1.0)
-        kernel_matrix = self._gram(x, x)
-        alphas, bias, iterations = _smo(
-            kernel_matrix, signs, self.c, self.tol, self.max_passes
-        )
-        self.n_iterations_ = iterations
-        support = alphas > 1e-12
-        self._support_x = x[support]
-        self._support_coef = (alphas * signs)[support]
-        self._bias = bias
+        obs = get_observer()
+        # Training has no simulated clock; span/event times are the
+        # SMO outer-iteration index (0 at open, n_iterations at close).
+        with obs.span(
+            "svm.fit",
+            category="train",
+            t=0.0,
+            kernel=self.kernel,
+            n_samples=len(x),
+        ) as span, obs.profile("train"):
+            kernel_matrix = self._gram(x, x)
+            alphas, bias, iterations = _smo(
+                kernel_matrix, signs, self.c, self.tol, self.max_passes
+            )
+            self.n_iterations_ = iterations
+            support = alphas > 1e-12
+            self._support_x = x[support]
+            self._support_coef = (alphas * signs)[support]
+            self._bias = bias
+            if obs.enabled:
+                span.end(float(iterations))
+                span.note(
+                    n_iterations=int(iterations),
+                    n_support=int(self.n_support_),
+                )
+                obs.count("svm_fits_total", kernel=self.kernel)
+                obs.observe(
+                    "svm_fit_iterations",
+                    float(iterations),
+                    edges=(5.0, 10.0, 25.0, 50.0, 100.0, 200.0),
+                )
         return self
 
     @property
@@ -287,8 +310,10 @@ def _smo(
     iterations = 0
     examine_all = True
     num_changed = 0
+    obs = get_observer()
     while (num_changed > 0 or examine_all) and iterations < max_passes:
         iterations += 1
+        sweep = "all" if examine_all else "non_bound"
         num_changed = 0
         if examine_all:
             for i in range(n):
@@ -296,6 +321,14 @@ def _smo(
         else:
             for i in np.flatnonzero((alphas > eps) & (alphas < c - eps)):
                 num_changed += examine(int(i))
+        if obs.enabled:
+            obs.event(
+                "svm.iteration",
+                t=float(iterations),
+                category="train",
+                sweep=sweep,
+                num_changed=int(num_changed),
+            )
         if examine_all:
             examine_all = False
         elif num_changed == 0:

@@ -1,0 +1,64 @@
+"""``repro.obs`` — deterministic tracing, metrics, and profiling.
+
+The observability subsystem for the crawl → features → cascade → serve
+stack.  Three backends behind one :class:`~repro.obs.observer.Observer`
+protocol:
+
+* the structured **tracer** (:mod:`repro.obs.tracer`) — spans with
+  parent/child causality and typed events, timestamped on the
+  *simulated* clock so traces are byte-reproducible,
+* the **metrics registry** (:mod:`repro.obs.metrics`) — counters,
+  gauges, bounded histograms; JSONL and Prometheus-style dumps,
+* the **profiler** (:mod:`repro.obs.profiler`) — per-stage simulated
+  cost next to real CPU time.
+
+The default observer is a no-op: with it installed (which is always,
+unless a caller opts in via :func:`set_observer` / :func:`observation`
+or the CLI's ``--trace``/``--metrics`` flags) the pipeline is
+bit-identical to an unobserved one — no RNG draws, no simulated-clock
+consumption, no output change.
+"""
+
+from repro.obs.metrics import DEFAULT_SECONDS_EDGES, Histogram, MetricsRegistry
+from repro.obs.observer import (
+    NULL_OBSERVER,
+    NullObserver,
+    Observer,
+    TracingObserver,
+    get_observer,
+    observation,
+    set_observer,
+)
+from repro.obs.profiler import Profiler, StageProfile
+from repro.obs.replay import (
+    load_trace,
+    render_summary,
+    render_tree,
+    walk_events,
+    walk_spans,
+)
+from repro.obs.tracer import NULL_SPAN, Span, TraceEvent, Tracer
+
+__all__ = [
+    "Observer",
+    "NullObserver",
+    "TracingObserver",
+    "NULL_OBSERVER",
+    "get_observer",
+    "set_observer",
+    "observation",
+    "Tracer",
+    "Span",
+    "TraceEvent",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Histogram",
+    "DEFAULT_SECONDS_EDGES",
+    "Profiler",
+    "StageProfile",
+    "load_trace",
+    "render_tree",
+    "render_summary",
+    "walk_spans",
+    "walk_events",
+]

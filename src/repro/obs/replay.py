@@ -1,0 +1,157 @@
+"""Trace replay: turn an exported trace back into a causal view.
+
+``repro obs TRACE.jsonl`` reads the canonical JSONL trace the tracer
+exported and renders either
+
+* a **causal tree** — every root span with its nested children and
+  typed events, timestamps on the simulated clock it was recorded
+  against (app-frame seconds on the crawl side), or
+* a **per-stage summary table** — span/event tallies aggregated by
+  name: counts, total simulated duration, and the attribute values that
+  matter operationally (fault kinds, breaker transitions, ladder rungs).
+
+The replay works from the file alone — no live tracer, no pipeline —
+so a trace uploaded from CI can be investigated anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "load_trace",
+    "render_tree",
+    "render_summary",
+    "walk_spans",
+    "walk_events",
+]
+
+
+def load_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a canonical JSONL trace into root-span dicts (file order)."""
+    roots: list[dict[str, Any]] = []
+    text = Path(path).read_text(encoding="utf-8")
+    for number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}:{number}: not a JSON span: {err}") from err
+        if not isinstance(span, dict) or "name" not in span:
+            raise ValueError(f"{path}:{number}: not a span object")
+        roots.append(span)
+    return roots
+
+
+def walk_spans(roots: list[dict[str, Any]]) -> Iterator[dict[str, Any]]:
+    """Every span in the trace, depth-first."""
+    stack = list(reversed(roots))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(reversed(span.get("children", [])))
+
+
+def walk_events(
+    roots: list[dict[str, Any]]
+) -> Iterator[tuple[dict[str, Any], dict[str, Any]]]:
+    """``(span, event)`` pairs over the whole trace, depth-first."""
+    for span in walk_spans(roots):
+        for event in span.get("events", []):
+            yield span, event
+
+
+def _attr_text(attrs: dict[str, Any]) -> str:
+    return " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+
+
+def _render_span(span: dict[str, Any], indent: int, lines: list[str]) -> None:
+    pad = "  " * indent
+    head = (
+        f"{pad}{span['name']} [{span.get('key', '')}] "
+        f"t={span.get('t_start', 0.0):.2f}..{span.get('t_end', 0.0):.2f}s"
+    )
+    attrs = span.get("attrs", {})
+    if attrs:
+        head += f"  {_attr_text(attrs)}"
+    lines.append(head)
+    for event in span.get("events", []):
+        lines.append(
+            f"{pad}  · {event['name']} t={event.get('t', 0.0):.2f}s "
+            f"{_attr_text(event.get('attrs', {}))}".rstrip()
+        )
+    for child in span.get("children", []):
+        _render_span(child, indent + 1, lines)
+
+
+def render_tree(
+    roots: list[dict[str, Any]],
+    category: str | None = None,
+    key: str | None = None,
+    limit: int | None = None,
+) -> str:
+    """The causal tree, optionally filtered by category and/or root key."""
+    selected = [
+        span for span in roots
+        if (category is None or span.get("category") == category)
+        and (key is None or key in str(span.get("key", "")))
+    ]
+    shown = selected if limit is None else selected[:limit]
+    lines: list[str] = []
+    for span in shown:
+        _render_span(span, 0, lines)
+    if limit is not None and len(selected) > limit:
+        lines.append(f"... ({len(selected) - limit} more root spans)")
+    return "\n".join(lines) if lines else "(no spans matched)"
+
+
+def render_summary(roots: list[dict[str, Any]]) -> str:
+    """Per-stage tallies: span counts/durations and event breakdowns."""
+    span_counts: Counter[str] = Counter()
+    span_duration: Counter[str] = Counter()
+    event_counts: Counter[str] = Counter()
+    fault_kinds: Counter[str] = Counter()
+    transitions: Counter[str] = Counter()
+    rungs: Counter[str] = Counter()
+    for span in walk_spans(roots):
+        if span["name"] != "_root":
+            span_counts[span["name"]] += 1
+            span_duration[span["name"]] += max(
+                0.0, span.get("t_end", 0.0) - span.get("t_start", 0.0)
+            )
+        rung = span.get("attrs", {}).get("rung")
+        if rung is not None:
+            rungs[str(rung)] += 1
+    for _span, event in walk_events(roots):
+        event_counts[event["name"]] += 1
+        attrs = event.get("attrs", {})
+        if event["name"] in ("retry.fault", "transport.fault"):
+            fault_kinds[str(attrs.get("kind"))] += 1
+        if event["name"] == "breaker.transition":
+            transitions[f"{attrs.get('from_state')}->{attrs.get('to_state')}"] += 1
+    lines = [f"{'span':<22} {'count':>7} {'sim_s total':>12}"]
+    for name in sorted(span_counts):
+        lines.append(
+            f"{name:<22} {span_counts[name]:>7} {span_duration[name]:>12.1f}"
+        )
+    lines.append("")
+    lines.append(f"{'event':<22} {'count':>7}")
+    for name in sorted(event_counts):
+        lines.append(f"{name:<22} {event_counts[name]:>7}")
+    for title, counter in (
+        ("fault kinds", fault_kinds),
+        ("breaker transitions", transitions),
+        ("ladder rungs", rungs),
+    ):
+        if counter:
+            lines.append("")
+            lines.append(
+                f"{title}: "
+                + ", ".join(f"{k}={v}" for k, v in sorted(counter.items()))
+            )
+    return "\n".join(lines)

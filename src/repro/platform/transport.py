@@ -34,6 +34,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.observer import get_observer
 from repro.platform.graph_api import GraphApi, GraphApiError
 from repro.platform.install import (
     AppRemovedError,
@@ -388,9 +389,17 @@ class DirectTransport:
         self._base_latency_s = base_latency_s
         self.stats = stats or TransportStats()
 
-    def _account(self) -> None:
+    def _account(self, endpoint: str, app_id: str) -> None:
         self.stats.add_request()
         self.stats.add_service(self._base_latency_s)
+        obs = get_observer()
+        if obs.enabled:
+            # Error-biased recording: successful calls are the hot path
+            # and already bounded by the enclosing crawl span (and the
+            # retry layer's ``retry.attempt`` events), so they keep
+            # aggregate metrics only — no per-call trace event.
+            obs.count("transport_requests_total", endpoint=endpoint)
+            obs.observe("transport_service_seconds", self._base_latency_s)
 
     # -- checkpoint support -----------------------------------------------
 
@@ -412,19 +421,19 @@ class DirectTransport:
         self._installer.restore_rng_state(state["installer_rng"])
 
     def summary(self, app_id: str, day: int | None = None) -> dict[str, Any]:
-        self._account()
+        self._account("summary", app_id)
         return self._graph_api.summary(app_id, day=day)
 
     def profile_feed(
         self, app_id: str, day: int | None = None
     ) -> list[dict[str, Any]]:
-        self._account()
+        self._account("feed", app_id)
         return self._graph_api.profile_feed(app_id, day=day)
 
     def visit_install_url(
         self, app_id: str, day: int | None = None
     ) -> InstallPrompt:
-        self._account()
+        self._account("install", app_id)
         return self._installer.visit_install_url(app_id, day=day)
 
 
@@ -530,31 +539,71 @@ class FaultyTransport:
         the *response* (truncation); raises for request-level faults.
         """
         self.stats.add_request()
+        obs = get_observer()
         if app_id in self._vanished:
             self.stats.add_service(self.plan.base_latency_s)
+            if obs.enabled:
+                self._note_request(obs, endpoint, app_id, "gone")
             raise GraphApiError(app_id)
         fault = self.plan.draw(endpoint, app_id, self._next_index(endpoint, app_id))
         if fault is None:
             self.stats.add_service(self.plan.base_latency_s)
+            if obs.enabled:
+                # Error-biased recording: the fault-free fast path keeps
+                # aggregate metrics only — the retry layer has already
+                # recorded this call's ``retry.attempt`` event, and
+                # faults below still get their own trace events.
+                obs.count("transport_requests_total", endpoint=endpoint)
+                obs.observe("transport_service_seconds", self.plan.base_latency_s)
             return None
         self.stats.add_fault(fault.kind)
         if fault.kind == "rate_limit":
             self.stats.add_service(self.plan.error_latency_s)
+            if obs.enabled:
+                self._note_fault(obs, endpoint, app_id, fault.kind)
             raise RateLimitError(app_id, retry_after=fault.retry_after)
         if fault.kind == "server_error":
             self.stats.add_service(self.plan.error_latency_s)
+            if obs.enabled:
+                self._note_fault(obs, endpoint, app_id, fault.kind)
             raise TransientServerError(app_id)
         if fault.kind == "timeout":
             self.stats.add_service(self.plan.timeout_s)
+            if obs.enabled:
+                self._note_fault(obs, endpoint, app_id, fault.kind)
             raise RequestTimeoutError(app_id, elapsed=self.plan.timeout_s)
         if fault.kind == "vanish":
             self._vanished.add(app_id)
             self.stats.add_vanished(app_id)
             self.stats.add_service(self.plan.base_latency_s)
+            if obs.enabled:
+                self._note_fault(obs, endpoint, app_id, fault.kind)
             raise GraphApiError(app_id)
         # truncate: the request succeeds but the response is cut short.
         self.stats.add_service(self.plan.base_latency_s)
+        if obs.enabled:
+            self._note_fault(obs, endpoint, app_id, fault.kind)
         return fault
+
+    def _note_request(self, obs, endpoint: str, app_id: str, outcome: str) -> None:
+        obs.event(
+            "transport.request",
+            t=self.stats.app_elapsed_s,
+            endpoint=endpoint,
+            app_id=app_id,
+            outcome=outcome,
+        )
+        obs.count("transport_requests_total", endpoint=endpoint)
+
+    def _note_fault(self, obs, endpoint: str, app_id: str, kind: str) -> None:
+        obs.event(
+            "transport.fault",
+            t=self.stats.app_elapsed_s,
+            endpoint=endpoint,
+            app_id=app_id,
+            kind=kind,
+        )
+        obs.count("transport_faults_total", kind=kind)
 
     # -- endpoints ---------------------------------------------------------
 

@@ -115,6 +115,23 @@ class AdmissionQueue:
     def total_shed(self) -> int:
         return sum(self.shed_counts.values())
 
+    def snapshot(self) -> dict:
+        """A uniform, JSON-serialisable image of the queue's counters.
+
+        Same shape contract as ``TransportStats.snapshot`` and
+        ``VerdictCache.snapshot``: scalars and ``{str: number}``
+        sub-dicts only, so the metrics registry can fold it into gauges
+        (``MetricsRegistry.scrape``) without a bespoke adapter.
+        """
+        return {
+            "depth": len(self),
+            "max_depth": self.max_depth,
+            "max_depth_seen": self.max_depth_seen,
+            "offered": {p: int(self.offered_counts[p]) for p in PRIORITIES},
+            "shed": {p: int(self.shed_counts[p]) for p in PRIORITIES},
+            "total_shed": self.total_shed(),
+        }
+
     def shed_rate(self, priority: str) -> float:
         """Fraction of *priority* offers shed at admission (0 if none)."""
         offered = self.offered_counts[priority]

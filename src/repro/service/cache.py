@@ -152,3 +152,19 @@ class VerdictCache:
         if total == 0:
             return 0.0
         return (self.hits_fresh + self.hits_stale) / total
+
+    def snapshot(self) -> dict:
+        """A uniform, JSON-serialisable image of the cache's counters.
+
+        Same shape contract as ``TransportStats.snapshot`` and
+        ``AdmissionQueue.snapshot``, so the metrics registry can fold it
+        into gauges (``MetricsRegistry.scrape``) without an adapter.
+        """
+        return {
+            "entries": len(self._entries),
+            "revalidating": len(self._revalidating),
+            "hits_fresh": self.hits_fresh,
+            "hits_stale": self.hits_stale,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+        }

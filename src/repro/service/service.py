@@ -49,6 +49,7 @@ from repro.crawler.resilience import (
     CircuitBreaker,
     RetryPolicy,
 )
+from repro.obs.observer import get_observer
 from repro.platform.transport import TransportStats
 from repro.service.admission import AdmissionQueue
 from repro.service.bulkhead import Bulkhead
@@ -306,6 +307,14 @@ class VerdictService:
         report.cache_hits_stale = self.cache.hits_stale
         report.cache_misses = self.cache.misses
         report.transport = self.stats.snapshot()
+        obs = get_observer()
+        if obs.enabled:
+            # The three uniform snapshot() components, folded into gauges.
+            obs.scrape("transport", self.stats)
+            obs.scrape("admission", self.queue)
+            obs.scrape("cache", self.cache)
+            obs.gauge("serve_elapsed_seconds", report.elapsed_s)
+            obs.gauge("serve_idle_seconds", report.idle_s)
         return report
 
     # -- admission ----------------------------------------------------------
@@ -316,6 +325,17 @@ class VerdictService:
 
     def _shed(self, victim: ScoreRequest) -> None:
         """Answer a request evicted (or rejected) by admission control."""
+        obs = get_observer()
+        if obs.enabled:
+            obs.event(
+                "serve.shed",
+                t=self.now_s,
+                category="serve",
+                app_id=victim.app_id,
+                priority=victim.priority,
+                internal=victim.internal,
+            )
+            obs.count("serve_shed_total", priority=victim.priority)
         if victim.internal:
             self.cache.abandon_revalidation(victim.app_id)
             return
@@ -346,6 +366,21 @@ class VerdictService:
 
     def _handle(self, request: ScoreRequest) -> VerdictResponse:
         started = self.now_s
+        obs = get_observer()
+        with obs.span(
+            "serve.request",
+            key=f"{request.sequence:06d}",
+            category="serve",
+            t=started,
+            app_id=request.app_id,
+            priority=request.priority,
+        ) as span, obs.profile("serve"):
+            response = self._dispatch(request, started)
+            if obs.enabled:
+                self._note_response(obs, span, response)
+        return response
+
+    def _dispatch(self, request: ScoreRequest, started: float) -> VerdictResponse:
         if started > request.deadline_at:
             return self._expired(request, started)
         if request.internal:
@@ -355,11 +390,39 @@ class VerdictService:
             return hit
         return self._score_live(request, started, cache_state)
 
+    def _note_response(self, obs, span, response: VerdictResponse) -> None:
+        """Close a ``serve.request`` span with the response's verdict path."""
+        span.end(response.finished_s)
+        span.note(
+            outcome=response.outcome,
+            rung=response.rung,
+            cache_state=response.cache_state,
+        )
+        obs.count(
+            "serve_requests_total",
+            priority=response.priority,
+            outcome=response.outcome,
+        )
+        if response.outcome == SERVED:
+            obs.count("serve_rungs_total", rung=response.rung)
+        obs.observe("serve_latency_seconds", response.latency_s)
+        obs.sim_cost("serve", response.latency_s)
+
     def _consult_cache(
         self, request: ScoreRequest, started: float
     ) -> tuple[VerdictResponse | None, str]:
         """Cache-served response, or the cache state a live crawl records."""
         state, entry = self.cache.lookup(request.app_id, started)
+        obs = get_observer()
+        if obs.enabled:
+            obs.event(
+                "cache.lookup",
+                t=started,
+                category="serve",
+                app_id=request.app_id,
+                state=state,
+            )
+            obs.count("cache_lookups_total", state=state)
         if state == FRESH and entry is not None:
             return self._from_cache(
                 request, entry, started,
@@ -414,29 +477,54 @@ class VerdictService:
         record the drained batch size.
         """
         size = len(batch)
+        obs = get_observer()
         staged: list[tuple[ScoreRequest, VerdictResponse | None]] = []
+        spans: list[Any] = []
         live: list[tuple[int, float, str | None]] = []
         records: list[CrawlRecord] = []
-        for request in batch:
-            started = self.now_s
-            if started > request.deadline_at:
-                staged.append((request, self._expired(request, started)))
-                continue
-            if request.internal:
-                records.append(self._crawl_request(request))
-                live.append((len(staged), started, None))
-                staged.append((request, None))
-                continue
-            hit, cache_state = self._consult_cache(request, started)
-            if hit is not None:
-                staged.append((request, hit))
-                continue
-            records.append(self._crawl_request(request))
-            live.append((len(staged), started, cache_state))
-            staged.append((request, None))
+        # One ``serve`` profile block per tick — the tick is the unit
+        # of work on the batched path, so CPU attribution amortises
+        # per batch instead of paying a timer pair per request.
+        with obs.profile("serve"):
+            for request in batch:
+                started = self.now_s
+                # The span closes at the end of this stage; batched
+                # responses finish together later, so the span's end
+                # time and outcome attrs are patched in below
+                # (``note``/``end`` work after close).
+                with obs.span(
+                    "serve.request",
+                    key=f"{request.sequence:06d}",
+                    category="serve",
+                    t=started,
+                    app_id=request.app_id,
+                    priority=request.priority,
+                ) as span:
+                    spans.append(span)
+                    if started > request.deadline_at:
+                        staged.append(
+                            (request, self._expired(request, started))
+                        )
+                        continue
+                    if request.internal:
+                        records.append(self._crawl_request(request))
+                        live.append((len(staged), started, None))
+                        staged.append((request, None))
+                        continue
+                    hit, cache_state = self._consult_cache(request, started)
+                    if hit is not None:
+                        staged.append((request, hit))
+                        continue
+                    records.append(self._crawl_request(request))
+                    live.append((len(staged), started, cache_state))
+                    staged.append((request, None))
         if live:
             self.stats.add_service(self.config.score_cost_s)
-            scored = self._cascade.score_batch(records)
+            with obs.profile("score"):
+                scored = self._cascade.score_batch(records)
+            if obs.enabled:
+                obs.sim_cost("score", self.config.score_cost_s)
+                obs.observe("serve_batch_live", float(len(live)))
             for (index, started, cache_state), record, (prediction, _, tier) in zip(
                 live, records, scored
             ):
@@ -451,9 +539,12 @@ class VerdictService:
                     )
                 staged[index] = (request, response)
         results: list[tuple[ScoreRequest, VerdictResponse]] = []
-        for request, response in staged:
+        for (request, response), span in zip(staged, spans):
             assert response is not None
             response.batch_size = size
+            if obs.enabled:
+                self._note_response(obs, span, response)
+                span.note(batch_size=size)
             results.append((request, response))
         return results
 
@@ -488,6 +579,15 @@ class VerdictService:
             priority=REFRESH,
             sequence=self._next_sequence(),
         )
+        obs = get_observer()
+        if obs.enabled:
+            obs.event(
+                "cache.refresh_scheduled",
+                t=now,
+                category="serve",
+                app_id=app_id,
+            )
+            obs.count("cache_refreshes_scheduled_total")
         self._admit(refresh)
 
     def _from_cache(

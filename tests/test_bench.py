@@ -9,7 +9,11 @@ compare (their workloads differ, so their ratios do too).
 
 from __future__ import annotations
 
-from repro.bench import GATED_COMPONENTS, compare
+import argparse
+import json
+
+import repro.bench
+from repro.bench import BENCH_VERSION, GATED_COMPONENTS, compare
 
 
 def report(mode="quick", **gates):
@@ -66,6 +70,60 @@ def test_improvements_never_fail():
     baseline = report(feature_matrix_speedup=10.0)
     current = report(feature_matrix_speedup=300.0)
     assert compare(current, baseline) == []
+
+
+def _main_args(**overrides):
+    defaults = dict(full=False, seed=7, out=None, compare=None, tolerance=0.2)
+    defaults.update(overrides)
+    return argparse.Namespace(**defaults)
+
+
+def _stub_report(mode="quick"):
+    return {
+        "schema_version": BENCH_VERSION,
+        "bench_version": BENCH_VERSION,
+        "mode": mode,
+        "seed": 7,
+        "python": "3",
+        "numpy": "1",
+        "components": {},
+        "gates": {"feature_matrix_speedup": 10.0},
+    }
+
+
+def test_report_is_stamped_with_schema_version(monkeypatch, tmp_path, capsys):
+    """``--out`` reports carry ``schema_version`` (plus the old alias)."""
+    monkeypatch.setattr(
+        repro.bench, "run_bench", lambda mode, seed: _stub_report(mode)
+    )
+    out = tmp_path / "BENCH_test.json"
+    assert repro.bench.main(_main_args(out=str(out))) == 0
+    written = json.loads(out.read_text())
+    assert written["schema_version"] == BENCH_VERSION
+    assert written["bench_version"] == BENCH_VERSION
+
+
+def test_missing_baseline_warns_and_passes(monkeypatch, tmp_path, capsys):
+    """``--compare MISSING`` is a bootstrap case: warning + exit 0."""
+    monkeypatch.setattr(
+        repro.bench, "run_bench", lambda mode, seed: _stub_report(mode)
+    )
+    missing = tmp_path / "BENCH_baseline.json"
+    assert repro.bench.main(_main_args(compare=str(missing))) == 0
+    err = capsys.readouterr().err
+    assert "not found" in err
+    assert "skipping" in err
+
+
+def test_present_baseline_still_gates(monkeypatch, tmp_path):
+    """A real baseline file keeps the exit-1 regression behaviour."""
+    monkeypatch.setattr(
+        repro.bench, "run_bench", lambda mode, seed: _stub_report(mode)
+    )
+    baseline = tmp_path / "BENCH_baseline.json"
+    regressing = dict(_stub_report(), gates={"feature_matrix_speedup": 100.0})
+    baseline.write_text(json.dumps(regressing))
+    assert repro.bench.main(_main_args(compare=str(baseline))) == 1
 
 
 def test_gated_components_are_the_stable_big_ratios():

@@ -1,0 +1,149 @@
+"""The observability determinism contract: watching changes nothing.
+
+The hard requirement of ``repro.obs``: with the default null observer
+the instrumented code paths consume **no RNG draws and no clock time**,
+and with a :class:`TracingObserver` installed every pipeline output —
+crawl records, transport accounting, journal bytes, verdicts, service
+reports — is *byte-identical* to an unobserved run.  The trace itself
+is byte-reproducible across crawl worker counts (scheduling metadata
+excluded: it is worker-topology-specific by design).
+
+Worlds are private per run: crawling and serving mutate transport and
+installer state, so on/off comparisons rebuild from the same config.
+"""
+
+from __future__ import annotations
+
+from repro.config import ScaleConfig, ServiceConfig
+from repro.core.pipeline import FrappePipeline
+from repro.crawler.checkpoint import CrawlJournal
+from repro.crawler.crawler import make_crawler
+from repro.ecosystem.simulation import run_simulation
+from repro.obs import (
+    NULL_OBSERVER,
+    NULL_SPAN,
+    TracingObserver,
+    get_observer,
+    observation,
+)
+from repro.service import LoadProfile, generate_requests, make_service
+
+CHAOS = dict(scale=0.01, master_seed=424242, fault_rate=0.2)
+N_APPS = 24
+
+
+def chaos_crawl(observer=None, workers=1, journal_dir=None):
+    """A fresh chaos crawl of the first N apps; returns (records, stats)."""
+    world = run_simulation(ScaleConfig(**CHAOS))
+    crawler = make_crawler(world)
+    apps = sorted(app.app_id for app in world.registry.all_apps())[:N_APPS]
+    journal = None
+    if journal_dir is not None:
+        journal = CrawlJournal(journal_dir, snapshot_every=8, resume=False)
+    try:
+        with observation(observer):
+            records = crawler.crawl_many(apps, journal=journal, workers=workers)
+    finally:
+        if journal is not None:
+            journal.close()
+    return records, crawler.stats
+
+
+def serve_run(observer):
+    """A fresh chaos pipeline + batched serve; returns (result, report)."""
+    with observation(observer):
+        result = FrappePipeline(ScaleConfig(**CHAOS)).run(sweep_unlabelled=False)
+        service = make_service(
+            result, ServiceConfig(batch_size=4, max_queue_depth=8)
+        )
+        profile = LoadProfile(
+            n_requests=40, rate_rps=0.5, pool_size=12, seed=7
+        )
+        requests = generate_requests(sorted(result.bundle.d_sample), profile)
+        report = service.serve(requests)
+    return result, report
+
+
+def response_image(report):
+    return [
+        (r.app_id, r.outcome, r.rung, r.verdict, r.cache_state,
+         r.latency_s, r.batch_size)
+        for r in report.responses
+    ]
+
+
+def test_default_observer_is_the_null_observer():
+    assert get_observer() is NULL_OBSERVER
+    assert not NULL_OBSERVER.enabled
+
+
+def test_null_span_context_is_reusable_and_inert():
+    cm = NULL_OBSERVER.span("anything", t=123.0, whatever="x")
+    for _ in range(2):  # the same CM object must survive re-entry
+        with cm as span:
+            assert span is NULL_SPAN
+            span.note(ignored=True)
+            span.end(999.0)
+    assert NULL_SPAN.attrs == {} and NULL_SPAN.t_end == 0.0
+
+
+def test_chaos_crawl_is_byte_identical_with_observation_on(tmp_path):
+    """Records, stats, and journal bytes match an unobserved run."""
+    off_records, off_stats = chaos_crawl(
+        observer=None, journal_dir=tmp_path / "off"
+    )
+    observer = TracingObserver()
+    on_records, on_stats = chaos_crawl(
+        observer=observer, journal_dir=tmp_path / "on"
+    )
+    assert [repr(r) for r in on_records] == [repr(r) for r in off_records]
+    assert on_stats.snapshot() == off_stats.snapshot()
+    assert (tmp_path / "on" / "journal.jsonl").read_bytes() == (
+        tmp_path / "off" / "journal.jsonl"
+    ).read_bytes()
+    # ... and the observed run actually recorded the crawl.
+    assert observer.metrics.counter_value("crawl_apps_total") == N_APPS
+    assert len(observer.tracer.roots(categories=("crawl",))) >= N_APPS
+
+
+def test_trace_is_byte_identical_across_worker_counts():
+    """Same crawl, workers 1 vs 4: same records, same canonical trace."""
+    sequential = TracingObserver()
+    seq_records, _ = chaos_crawl(observer=sequential, workers=1)
+    parallel = TracingObserver()
+    par_records, _ = chaos_crawl(observer=parallel, workers=4)
+    assert [repr(r) for r in par_records] == [repr(r) for r in seq_records]
+    # The "schedule" category is worker-topology metadata; everything
+    # else — including every crawl span and nested event — is identical.
+    assert parallel.tracer.to_jsonl(
+        categories=("crawl",)
+    ) == sequential.tracer.to_jsonl(categories=("crawl",))
+    # The sequential run has no scheduler, so no schedule category.
+    assert not sequential.tracer.roots(categories=("schedule",))
+    assert parallel.tracer.roots(categories=("schedule",))
+
+
+def test_pipeline_and_batched_serve_identical_with_observation_on():
+    """Training, cascade scoring, and serving are untouched by tracing."""
+    _off_result, off_report = serve_run(observer=None)
+    observer = TracingObserver()
+    _on_result, on_report = serve_run(observer=observer)
+    assert response_image(on_report) == response_image(off_report)
+    assert on_report.summary() == off_report.summary()
+    assert on_report.transport == off_report.transport
+    # The observed run recorded spans for training and every *handled*
+    # request; admission-shed requests are answered without a span but
+    # leave a ``serve.shed`` event instead.
+    assert observer.tracer.roots(categories=("train",))
+    serve_roots = observer.tracer.roots(categories=("serve",))
+    named = [s for s in serve_roots if s.name == "serve.request"]
+    client_spans = [s for s in named if s.attrs.get("priority") != "refresh"]
+    overloaded = sum(
+        1 for r in on_report.responses if r.outcome == "overloaded"
+    )
+    assert len(client_spans) + overloaded == len(on_report.responses)
+    shed_events = sum(
+        len([e for e in s.events if e.name == "serve.shed"])
+        for s in serve_roots
+    )
+    assert shed_events >= overloaded

@@ -1,0 +1,172 @@
+"""The metrics registry: bounded histograms, canonical dumps, scraping.
+
+Histograms must be fixed-bucket (memory O(series), never O(samples))
+with Prometheus ``le`` boundary semantics; exports must be byte-stable
+regardless of recording order; and any component honouring the uniform
+``snapshot() -> dict`` contract must fold into gauges without an
+adapter — pinned here against the three real implementations.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_SECONDS_EDGES, Histogram, MetricsRegistry
+from repro.platform.transport import TransportStats
+from repro.service import INTERACTIVE, AdmissionQueue, ScoreRequest, VerdictCache
+
+
+class TestHistogram:
+    def test_edges_must_be_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_value_on_an_edge_falls_in_that_bucket(self):
+        # Prometheus ``le`` semantics: the bucket is value <= edge.
+        h = Histogram((1.0, 5.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+        h.observe(1.0000001)
+        assert h.counts == [1, 1, 0]
+
+    def test_overflow_lands_in_the_inf_bucket(self):
+        h = Histogram((1.0, 5.0))
+        h.observe(100.0)
+        assert h.counts == [0, 0, 1]
+        assert h.cumulative() == [0, 0, 1]
+
+    def test_bucket_count_is_fixed_at_construction(self):
+        h = Histogram(DEFAULT_SECONDS_EDGES)
+        for value in range(10_000):
+            h.observe(float(value))
+        assert len(h.counts) == len(DEFAULT_SECONDS_EDGES) + 1
+        assert h.count == 10_000
+        assert h.cumulative()[-1] == 10_000
+
+    def test_sum_and_count_track_samples(self):
+        h = Histogram((10.0,))
+        h.observe(2.0)
+        h.observe(3.5)
+        assert h.total == pytest.approx(5.5)
+        assert h.count == 2
+
+
+class TestRegistry:
+    def test_counters_accumulate_per_label_set(self):
+        m = MetricsRegistry()
+        m.count("faults_total", kind="timeout")
+        m.count("faults_total", kind="timeout")
+        m.count("faults_total", kind="vanish")
+        assert m.counter_value("faults_total", kind="timeout") == 2.0
+        assert m.counter_value("faults_total", kind="vanish") == 1.0
+        assert m.counter_value("faults_total", kind="absent") == 0.0
+
+    def test_gauges_overwrite(self):
+        m = MetricsRegistry()
+        m.gauge("depth", 3.0)
+        m.gauge("depth", 7.0)
+        assert m.gauge_value("depth") == 7.0
+        assert m.gauge_value("missing") is None
+
+    def test_observe_uses_default_then_custom_edges(self):
+        m = MetricsRegistry()
+        m.observe("latency_seconds", 0.3)
+        assert m.histogram_of("latency_seconds").edges == DEFAULT_SECONDS_EDGES
+        m.observe("line_bytes", 2048.0, edges=(1024.0, 4096.0))
+        assert m.histogram_of("line_bytes").edges == (1024.0, 4096.0)
+        assert m.histogram_of("line_bytes").counts == [0, 1, 0]
+
+    def test_jsonl_is_byte_stable_across_recording_orders(self):
+        def record(m, order):
+            for name, labels in order:
+                m.count(name, **labels)
+            m.gauge("depth", 4.0)
+            m.observe("latency_seconds", 2.0)
+
+        series = [
+            ("faults_total", {"kind": "timeout"}),
+            ("faults_total", {"kind": "vanish"}),
+            ("requests_total", {}),
+        ]
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        record(forward, series)
+        record(backward, list(reversed(series)))
+        assert forward.to_jsonl() == backward.to_jsonl()
+        for line in forward.to_jsonl().splitlines():
+            assert line == json.dumps(
+                json.loads(line), sort_keys=True, separators=(",", ":")
+            )
+
+    def test_prometheus_dump_shapes(self):
+        m = MetricsRegistry()
+        m.count("requests_total", endpoint="feed")
+        m.gauge("queue_depth", 5.0)
+        m.observe("latency_seconds", 0.4, edges=(0.5, 1.0))
+        text = m.to_prometheus()
+        assert 'requests_total{endpoint="feed"} 1' in text
+        assert "queue_depth 5" in text
+        assert 'latency_seconds_bucket{le="0.5"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "latency_seconds_sum 0.4" in text
+        assert "latency_seconds_count 1" in text
+
+    def test_export_writes_both_formats_atomically(self, tmp_path):
+        m = MetricsRegistry()
+        m.count("requests_total")
+        written = m.export(
+            jsonl_path=tmp_path / "m.jsonl",
+            prometheus_path=tmp_path / "m.prom",
+        )
+        assert len(written) == 2
+        assert (tmp_path / "m.jsonl").read_text() == m.to_jsonl()
+        assert (tmp_path / "m.prom").read_text() == m.to_prometheus()
+        assert not list(tmp_path.glob("*.tmp"))  # no droppings
+
+
+class TestUniformSnapshotScrape:
+    """The three real snapshot() components fold into gauges unadapted."""
+
+    def test_admission_queue(self):
+        queue = AdmissionQueue(max_depth=2)
+        for sequence in range(3):
+            queue.offer(
+                ScoreRequest(
+                    app_id=f"app{sequence}",
+                    arrival_s=0.0,
+                    deadline_s=60.0,
+                    priority=INTERACTIVE,
+                    sequence=sequence,
+                )
+            )
+        m = MetricsRegistry()
+        m.scrape("admission", queue.snapshot())
+        assert m.gauge_value("admission_depth") == 2.0
+        assert m.gauge_value("admission_max_depth") == 2.0
+        assert m.gauge_value("admission_offered", key=INTERACTIVE) == 3.0
+        assert m.gauge_value("admission_shed", key=INTERACTIVE) == 1.0
+        assert m.gauge_value("admission_total_shed") == 1.0
+
+    def test_verdict_cache(self):
+        cache = VerdictCache()
+        cache.lookup("missing", now_s=0.0)
+        m = MetricsRegistry()
+        m.scrape("cache", cache.snapshot())
+        assert m.gauge_value("cache_entries") == 0.0
+        assert m.gauge_value("cache_misses") == 1.0
+        assert m.gauge_value("cache_hit_rate") == 0.0
+
+    def test_transport_stats(self):
+        stats = TransportStats()
+        stats.add_service(1.5)
+        stats.injected["timeout"] += 2
+        stats.vanished.add("app1")
+        m = MetricsRegistry()
+        m.scrape("transport", stats.snapshot())
+        assert m.gauge_value("transport_service_s") == 1.5
+        assert m.gauge_value("transport_injected", key="timeout") == 2.0
+        # lists collapse to their length
+        assert m.gauge_value("transport_vanished") == 1.0
