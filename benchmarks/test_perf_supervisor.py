@@ -1,0 +1,126 @@
+"""Supervisor benchmark: what process sharding and a dead worker cost.
+
+Crawls the same D-Sample at a 20% transport fault rate three ways —
+sequentially, sharded across N processes, and sharded with a SIGKILL
+injected into one worker mid-shard — and prints records/s for each
+plus the supervisor's recovery accounting.  Every variant must produce
+byte-identical records: the process pool and the recovery ladder are
+pure mechanism, never allowed to perturb the study.
+
+Wall-clock speedup here measures *real* parallelism of the speculate
+phase (simulated transport time is deterministic and identical across
+variants); fork/IPC overhead means small samples may not show one, so
+only identity is asserted, not speed.
+
+Run with ``pytest benchmarks/test_perf_supervisor.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.config import ScaleConfig
+from repro.crawler.checkpoint import record_to_jsonable
+from repro.crawler.crawler import make_crawler
+from repro.crawler.datasets import DatasetBuilder
+from repro.crawler.supervisor import KILL, ShardSupervisor, WorkerChaos
+from repro.ecosystem.simulation import run_simulation
+from repro.mypagekeeper.classifier import UrlClassifier
+from repro.mypagekeeper.monitor import MyPageKeeper
+
+SUP_SCALE = 0.04
+SUP_SEED = 2012
+SUP_FAULT_RATE = 0.2
+PROCESSES = 4
+
+#: variant -> (processes, chaos)
+VARIANTS = {
+    "sequential": (1, None),
+    "sharded": (PROCESSES, None),
+    "sharded-kill": (PROCESSES, WorkerChaos(mode=KILL, shard=0, app_index=1)),
+}
+
+_world_cache: dict = {}
+_canons: dict[str, bytes] = {}
+_durations: dict[str, float] = {}
+
+
+def _world_and_sample():
+    if not _world_cache:
+        world = run_simulation(
+            ScaleConfig(
+                scale=SUP_SCALE,
+                master_seed=SUP_SEED,
+                fault_rate=SUP_FAULT_RATE,
+            )
+        )
+        report = MyPageKeeper(
+            UrlClassifier(world.services.blacklist), world.post_log
+        ).scan()
+        bundle = DatasetBuilder(world, report).build(crawl=False)
+        _world_cache["world"] = world
+        _world_cache["sample"] = sorted(bundle.d_sample)
+        _world_cache["rng_state"] = world.installer.rng_state()
+    return _world_cache["world"], _world_cache["sample"]
+
+
+def _canon(records) -> bytes:
+    return json.dumps(
+        {a: record_to_jsonable(r) for a, r in sorted(records.items())},
+        sort_keys=True,
+    ).encode()
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_perf_supervised_crawl(benchmark, variant):
+    world, sample = _world_and_sample()
+    processes, chaos = VARIANTS[variant]
+
+    def run():
+        world.installer.restore_rng_state(_world_cache["rng_state"])
+        crawler = make_crawler(world)
+        if processes == 1:
+            started = time.perf_counter()
+            records = crawler.crawl_many(sample)
+            supervisor = None
+        else:
+            supervisor = ShardSupervisor(
+                crawler, processes=processes, chaos=chaos
+            )
+            started = time.perf_counter()
+            records = supervisor.crawl(sample)
+        return records, supervisor, time.perf_counter() - started
+
+    records, supervisor, duration = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    _canons[variant] = _canon(records)
+    _durations[variant] = duration
+
+    print()
+    print(f"variant           {variant}")
+    print(f"apps              {len(sample)} at fault rate {SUP_FAULT_RATE:.0%}")
+    print(f"processes         {processes}")
+    print(f"throughput        {len(sample) / duration:,.1f} records/s "
+          f"({duration:.2f} s)")
+    if supervisor is not None:
+        print(f"worker deaths     {supervisor.worker_deaths}")
+        print(f"restarts          {supervisor.restarts}")
+        print(f"committed spec.   {supervisor.committed_speculative}")
+        print(f"recrawled inline  {supervisor.recrawled_inline}")
+        assert (
+            supervisor.committed_speculative + supervisor.recrawled_inline
+            == len(sample)
+        )
+    if chaos is not None:
+        assert supervisor.worker_deaths >= 1
+        assert supervisor.restarts >= 1
+    if "sequential" in _canons:
+        assert _canons[variant] == _canons["sequential"]
+    if variant == "sharded-kill" and "sequential" in _durations:
+        ratio = _durations["sequential"] / max(duration, 1e-9)
+        print(f"speedup vs 1p     {ratio:.2f}x "
+              "(informational; identity is the contract)")

@@ -83,6 +83,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 1: sequential; any value is byte-identical)",
     )
     parser.add_argument(
+        "--processes", type=int, default=1,
+        help="OS processes for the fault-tolerant sharded crawl "
+             "(default 1: no supervisor; any value is byte-identical, "
+             "even when workers are killed mid-shard)",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="instrument the run and export the canonical trace (JSONL) "
              "to FILE; command outputs stay byte-identical",
@@ -126,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
     crawl.add_argument(
         "--resume", action="store_true", default=argparse.SUPPRESS,
         help="override the global --resume",
+    )
+    crawl.add_argument(
+        "--workers", type=int, default=argparse.SUPPRESS,
+        help="override the global --workers",
+    )
+    crawl.add_argument(
+        "--processes", type=int, default=argparse.SUPPRESS,
+        help="override the global --processes",
     )
 
     evaluate = sub.add_parser("evaluate", help="watchdog over app IDs")
@@ -225,6 +239,7 @@ def _config(args: argparse.Namespace) -> ScaleConfig:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
         crawl_workers=args.workers,
+        crawl_processes=args.processes,
     )
 
 
@@ -313,7 +328,10 @@ def _cmd_crawl(args: argparse.Namespace) -> int:
         )
     try:
         records = crawler.crawl_many(
-            bundle.d_sample, journal=journal, workers=config.crawl_workers
+            bundle.d_sample,
+            journal=journal,
+            workers=config.crawl_workers,
+            processes=config.crawl_processes,
         )
     finally:
         if journal is not None:

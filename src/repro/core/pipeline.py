@@ -139,6 +139,7 @@ class FrappePipeline:
             crawler=crawler,
             journal=journal,
             workers=world.config.crawl_workers,
+            processes=world.config.crawl_processes,
         )
         extractor = self.make_extractor(world, bundle)
 
@@ -209,6 +210,7 @@ class FrappePipeline:
             unlabelled,
             journal=journal,
             workers=result.world.config.crawl_workers,
+            processes=result.world.config.crawl_processes,
         )
         ordered = sorted(result.unlabelled_records)
         records = [result.unlabelled_records[a] for a in ordered]

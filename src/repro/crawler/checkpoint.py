@@ -56,6 +56,7 @@ from repro.rng import derive_seed
 
 __all__ = [
     "atomic_write",
+    "next_sidecar_path",
     "SimulatedCrash",
     "CrashPlan",
     "CrawlJournal",
@@ -107,6 +108,23 @@ def atomic_write(path: str | Path, data: str | bytes) -> Path:
     except OSError:  # pragma: no cover - platform-dependent
         pass
     return path
+
+
+def next_sidecar_path(path: str | Path) -> Path:
+    """The first unused quarantine sidecar name for *path*.
+
+    ``X.corrupt``, then ``X.corrupt.1``, ``X.corrupt.2``, … — each
+    quarantine event gets its own sidecar, so interrupting and resuming
+    a crawl repeatedly can never overwrite (or silently interleave
+    with) the evidence of an earlier corruption.
+    """
+    path = Path(path)
+    candidate = path.with_name(path.name + ".corrupt")
+    counter = 0
+    while candidate.exists():
+        counter += 1
+        candidate = path.with_name(f"{path.name}.corrupt.{counter}")
+    return candidate
 
 
 # -- crash injection --------------------------------------------------------
@@ -320,7 +338,9 @@ class CrawlJournal:
         The configuration fingerprint the journal was written under;
         resuming with a different configuration is refused loudly.
     ``journal.jsonl.corrupt`` / ``snapshot.json.corrupt``
-        Quarantine sidecars for checksum-mismatched entries.
+        Quarantine sidecars for checksum-mismatched entries; repeated
+        quarantines get counter-suffixed names (``….corrupt.1``, …) so
+        no event overwrites another's evidence.
 
     ``append()`` returning *is* the durability point: line written,
     flushed, fsynced.  See the module docstring for the full contract.
@@ -408,7 +428,7 @@ class CrawlJournal:
             records = {e["app_id"]: e for e in payload["records"]}
             state = payload["state"]
         except (KeyError, TypeError, ValueError, UnicodeDecodeError) as err:
-            corrupt = path.with_name(path.name + ".corrupt")
+            corrupt = next_sidecar_path(path)
             os.replace(path, corrupt)
             logger.warning(
                 "quarantined corrupt snapshot %s -> %s (%s); its apps will "
@@ -455,10 +475,11 @@ class CrawlJournal:
             self.truncated_torn_line = torn
 
     def _quarantine_lines(self, lines: list[bytes]) -> None:
-        corrupt_path = self.journal_path.with_name(
-            self.JOURNAL_NAME + ".corrupt"
-        )
-        with open(corrupt_path, "ab") as sidecar:
+        # A fresh counter-suffixed sidecar per quarantine event: resuming
+        # twice must leave both corruption artifacts intact, never
+        # overwrite or interleave them.
+        corrupt_path = next_sidecar_path(self.journal_path)
+        with open(corrupt_path, "wb") as sidecar:
             for line in lines:
                 sidecar.write(line + b"\n")
         claimed = []

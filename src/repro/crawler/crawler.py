@@ -271,6 +271,7 @@ class AppCrawler:
         journal: "CrawlJournal | None" = None,
         crash_plan: "CrashPlan | None" = None,
         workers: int = 1,
+        processes: int = 1,
     ) -> dict[str, CrawlRecord]:
         """Crawl *app_ids* in sorted order, optionally crash-safely.
 
@@ -288,8 +289,20 @@ class AppCrawler:
         ``workers > 1`` runs the batch-parallel scheduler
         (:class:`~repro.crawler.scheduler.CrawlScheduler`), whose output
         — records and all crawler side effects — is byte-identical to
-        this sequential loop by construction.
+        this sequential loop by construction.  ``processes > 1`` runs
+        the fault-tolerant multi-process supervisor
+        (:class:`~repro.crawler.supervisor.ShardSupervisor`) with the
+        same byte-identity contract; it takes precedence over
+        ``workers``.  Crash injection targets this sequential loop's
+        journaling windows, so a *crash_plan* forces the sequential
+        path (as it does for the thread scheduler).
         """
+        if processes > 1 and crash_plan is None:
+            from repro.crawler.supervisor import ShardSupervisor
+
+            return ShardSupervisor(self, processes=processes).crawl(
+                app_ids, journal=journal
+            )
         if workers > 1:
             from repro.crawler.scheduler import CrawlScheduler
 

@@ -119,6 +119,7 @@ class DatasetBuilder:
         crawler: AppCrawler | None = None,
         journal: "CrawlJournal | None" = None,
         workers: int = 1,
+        processes: int = 1,
     ) -> DatasetBundle:
         """Assemble the bundle, optionally crawling D-Sample.
 
@@ -128,7 +129,9 @@ class DatasetBuilder:
         become durable as they land and a rebuilt builder resumes from
         them (see :mod:`repro.crawler.checkpoint`).  *workers* > 1
         crawls through the batch-parallel scheduler (byte-identical
-        records; see :mod:`repro.crawler.scheduler`).
+        records; see :mod:`repro.crawler.scheduler`); *processes* > 1
+        through the fault-tolerant multi-process supervisor
+        (:mod:`repro.crawler.supervisor`), same contract.
         """
         d_total = self._labeler.observed_app_ids()
         whitelist = self._build_whitelist(d_total)
@@ -144,7 +147,10 @@ class DatasetBuilder:
         if crawl:
             crawler = crawler or AppCrawler(self._world)
             bundle.records = crawler.crawl_many(
-                bundle.d_sample, journal=journal, workers=workers
+                bundle.d_sample,
+                journal=journal,
+                workers=workers,
+                processes=processes,
             )
         return bundle
 

@@ -58,6 +58,7 @@ sequential loop would, so kill-anywhere resume still holds.
 
 from __future__ import annotations
 
+import logging
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -76,7 +77,31 @@ from repro.platform.transport import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.crawler.checkpoint import CrawlJournal
 
-__all__ = ["CrawlScheduler"]
+__all__ = [
+    "CrawlScheduler",
+    "Speculation",
+    "clamp_width",
+    "speculation_to_jsonable",
+    "speculation_from_jsonable",
+]
+
+logger = logging.getLogger(__name__)
+
+
+def clamp_width(requested: int, n_apps: int, what: str = "workers") -> int:
+    """Clamp a parallel width to the number of apps (and >= 1), loudly.
+
+    Spawning more workers/processes than there are apps would only
+    create idle sandboxes (or idle OS processes); the clamp keeps the
+    run identical while warning that the requested width was excessive.
+    """
+    effective = max(1, min(requested, n_apps))
+    if effective < requested:
+        logger.warning(
+            "clamping %s from %d to %d: only %d pending app(s) to crawl",
+            what, requested, effective, n_apps,
+        )
+    return effective
 
 
 def _pristine(snapshot: dict) -> bool:
@@ -124,7 +149,7 @@ class _SpeculativeInstaller:
 
 
 @dataclass
-class _Speculation:
+class Speculation:
     """One sandbox crawl: the record plus the state delta it produced."""
 
     app_id: str
@@ -143,6 +168,49 @@ class _Speculation:
     vanished: list[str] = field(default_factory=list)
     #: the install visit consumed one client-ID rotation draw
     drew_install: bool = False
+
+
+def speculation_to_jsonable(speculation: Speculation) -> dict[str, Any]:
+    """A lossless, JSON-serialisable image of one :class:`Speculation`.
+
+    This is the wire/journal format of the multi-process supervisor
+    (:mod:`repro.crawler.supervisor`): worker processes persist each
+    speculation to their per-shard journal as canonical JSON, and the
+    parent decodes them back for the commit phase.  Floats survive a
+    ``json`` round trip exactly (repr-based encoding), so a decoded
+    speculation commits bit-identically to the in-process original.
+    """
+    from repro.crawler.checkpoint import record_to_jsonable
+
+    return {
+        "app_id": speculation.app_id,
+        "record": record_to_jsonable(speculation.record),
+        "counters": speculation.counters,
+        "events": [[kind, seconds] for kind, seconds in speculation.events],
+        "breakers": speculation.breakers,
+        "call_index": [list(entry) for entry in speculation.call_index],
+        "vanished": list(speculation.vanished),
+        "drew_install": bool(speculation.drew_install),
+    }
+
+
+def speculation_from_jsonable(data: dict[str, Any]) -> Speculation:
+    """The inverse of :func:`speculation_to_jsonable`."""
+    from repro.crawler.checkpoint import record_from_jsonable
+
+    return Speculation(
+        app_id=data["app_id"],
+        record=record_from_jsonable(data["record"]),
+        counters=data["counters"],
+        events=[(kind, float(seconds)) for kind, seconds in data["events"]],
+        breakers=data["breakers"],
+        call_index=[
+            (endpoint, app_id, int(count))
+            for endpoint, app_id, count in data["call_index"]
+        ],
+        vanished=list(data["vanished"]),
+        drew_install=bool(data["drew_install"]),
+    )
 
 
 class CrawlScheduler:
@@ -200,7 +268,13 @@ class CrawlScheduler:
             )
         return sandbox, installer
 
-    def _speculate(self, app_id: str) -> _Speculation:
+    def speculate(self, app_id: str) -> Speculation:
+        """Crawl *app_id* in a fresh sandbox; return its state delta.
+
+        Pure per-app work: consumes none of the real crawler's state,
+        so it can run on any thread — or, via the supervisor, in any
+        OS process — and commit later in canonical order.
+        """
         sandbox, installer = self._sandbox()
         record = sandbox.crawl_app(app_id)
         transport = sandbox.transport
@@ -209,7 +283,7 @@ class CrawlScheduler:
         if isinstance(transport, FaultyTransport):
             call_index = transport.call_index_items()
             vanished = sorted(transport.vanished_apps())
-        return _Speculation(
+        return Speculation(
             app_id=app_id,
             record=record,
             counters=transport.stats.snapshot(),
@@ -222,7 +296,7 @@ class CrawlScheduler:
 
     # -- the commit phase ---------------------------------------------------
 
-    def _valid(self, speculation: _Speculation) -> bool:
+    def _valid(self, speculation: Speculation) -> bool:
         """Does the real state match what the sandbox assumed?
 
         The sandbox assumed pristine breakers; everything else it
@@ -236,7 +310,7 @@ class CrawlScheduler:
             for snapshot in self._crawler.executor.snapshot_breakers().values()
         )
 
-    def _commit(self, speculation: _Speculation) -> CrawlRecord:
+    def _commit(self, speculation: Speculation) -> CrawlRecord:
         """Merge a valid speculation into the real crawler state.
 
         Mirrors exactly what a sequential ``crawl_app`` would have done
@@ -300,35 +374,60 @@ class CrawlScheduler:
         records, pending = self._crawler.journal_prologue(app_ids, journal)
         if not pending:
             return records
-        speculations: dict[str, _Speculation] = {}
+        width = clamp_width(self.workers, len(pending))
+        speculations: dict[str, Speculation] = {}
         lock = threading.Lock()
 
         def run_partition(shard: list[str]) -> None:
             for app_id in shard:
-                speculation = self._speculate(app_id)
+                speculation = self.speculate(app_id)
                 with lock:
                     speculations[app_id] = speculation
 
-        shards = [pending[w :: self.workers] for w in range(self.workers)]
-        shards = [shard for shard in shards if shard]
+        shards = [pending[w::width] for w in range(width)]
         with ThreadPoolExecutor(max_workers=len(shards)) as pool:
             for future in [pool.submit(run_partition, s) for s in shards]:
                 future.result()
 
+        return self.commit_all(
+            pending, speculations, journal, records, width=width
+        )
+
+    def commit_all(
+        self,
+        pending: list[str],
+        speculations: dict[str, Speculation],
+        journal: "CrawlJournal | None",
+        records: dict[str, CrawlRecord],
+        *,
+        width: int,
+    ) -> dict[str, CrawlRecord]:
+        """Commit *speculations* over *pending* in canonical order.
+
+        The single sequential phase shared by the thread scheduler and
+        the multi-process supervisor.  Apps whose speculation is missing
+        (a worker died before producing it and every recovery rung was
+        exhausted) or invalid (a previous app left a breaker
+        non-pristine) are crawled inline against the true state — the
+        graceful degradation to the sequential crawl that preserves
+        byte-identical output no matter how the speculations were made.
+        """
         obs = get_observer()
         for app_id in pending:
-            if self._valid(speculations[app_id]):
-                record = self._commit(speculations[app_id])
+            speculation = speculations.get(app_id)
+            if speculation is not None and self._valid(speculation):
+                record = self._commit(speculation)
                 self.committed_speculative += 1
                 mode = "speculative"
             else:
-                # A previous app left a breaker non-pristine: the
-                # speculation's premise is wrong, so crawl this app
-                # inline against the true state (exact, just not
-                # parallel) and let later apps re-validate.  The inline
-                # crawl also re-records the app's trace root, so —
-                # last recording wins — the surviving span is the one
-                # whose record was committed, as in a sequential run.
+                # Either no speculation survived for this app, or a
+                # previous app left a breaker non-pristine so the
+                # speculation's premise is wrong.  Crawl inline (exact,
+                # just not parallel) and let later apps re-validate.
+                # The inline crawl also re-records the app's trace
+                # root, so — last recording wins — the surviving span
+                # is the one whose record was committed, as in a
+                # sequential run.
                 record = self._crawler.crawl_app(app_id)
                 self.recrawled_inline += 1
                 mode = "inline"
@@ -339,7 +438,7 @@ class CrawlScheduler:
                     category="schedule",
                     app_id=app_id,
                     mode=mode,
-                    workers=self.workers,
+                    workers=width,
                 )
                 obs.count("schedule_commits_total", mode=mode)
             if journal is not None:

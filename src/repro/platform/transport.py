@@ -246,6 +246,21 @@ class TransportStats:
         default_factory=threading.RLock, repr=False, compare=False
     )
 
+    def __getstate__(self) -> dict[str, Any]:
+        """Picklable image: everything but the (unpicklable) lock.
+
+        The multi-process crawl supervisor ships sandbox state between
+        OS processes; the lock is process-local by nature and is
+        recreated fresh on unpickle.
+        """
+        state = dict(self.__dict__)
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+
     @property
     def elapsed_s(self) -> float:
         """The simulated clock: total service plus deliberate waiting."""

@@ -22,6 +22,7 @@ from repro.crawler.checkpoint import (
     CrawlJournal,
     SimulatedCrash,
     atomic_write,
+    next_sidecar_path,
     record_from_jsonable,
     record_to_jsonable,
 )
@@ -194,6 +195,63 @@ def test_interior_corruption_quarantined(
     resumed = _crawl(pristine_world, apps, journal=reopened)
     assert sorted(resumed) == apps
     reopened.close()
+
+
+def test_next_sidecar_path_counts_up(tmp_path):
+    target = tmp_path / "journal.jsonl"
+    first = next_sidecar_path(target)
+    assert first == tmp_path / "journal.jsonl.corrupt"
+    first.write_bytes(b"evidence one\n")
+    second = next_sidecar_path(target)
+    assert second == tmp_path / "journal.jsonl.corrupt.1"
+    second.write_bytes(b"evidence two\n")
+    assert next_sidecar_path(target) == tmp_path / "journal.jsonl.corrupt.2"
+
+
+def _corrupt_interior_line(path, index=1):
+    """Flip a byte in the middle of journal line *index*; return its app."""
+    lines = path.read_bytes().splitlines(keepends=True)
+    victim = json.loads(lines[index].split(b"\t", 1)[1])["app_id"]
+    mid = len(lines[index]) // 2
+    lines[index] = lines[index][:mid] + b"X" + lines[index][mid + 1:]
+    path.write_bytes(b"".join(lines))
+    return victim
+
+
+def test_repeated_quarantine_never_overwrites_a_sidecar(
+    tmp_path, pristine_world, sample
+):
+    """Interrupt-and-resume twice: both ``.corrupt`` sidecars survive.
+
+    The first quarantine takes the plain ``.corrupt`` name; a second
+    corruption event on a later resume must go to ``.corrupt.1`` —
+    overwriting (or appending to) the first sidecar would destroy or
+    interleave the evidence of the earlier corruption.
+    """
+    apps = sample[:6]
+    with CrawlJournal(tmp_path) as journal:
+        _crawl(pristine_world, apps, journal=journal)
+    path = tmp_path / "journal.jsonl"
+
+    first_victim = _corrupt_interior_line(path, index=1)
+    reopened = CrawlJournal(tmp_path)
+    first_sidecar = tmp_path / "journal.jsonl.corrupt"
+    assert first_sidecar.exists()
+    evidence = first_sidecar.read_bytes()
+    # resume: re-crawl the quarantined app, making the journal whole again
+    _crawl(pristine_world, apps, journal=reopened)
+    reopened.close()
+
+    second_victim = _corrupt_interior_line(path, index=2)
+    again = CrawlJournal(tmp_path)
+    second_sidecar = tmp_path / "journal.jsonl.corrupt.1"
+    assert second_sidecar.exists(), "second quarantine must get a new name"
+    # the first sidecar is untouched, byte for byte
+    assert first_sidecar.read_bytes() == evidence
+    assert second_sidecar.read_bytes() != evidence
+    assert first_victim not in again.quarantined  # it was re-crawled
+    assert second_victim in again.quarantined
+    again.close()
 
 
 def test_corrupt_snapshot_quarantined(tmp_path, pristine_world, sample, caplog):

@@ -10,13 +10,15 @@ tests crawl the same D-Sample both ways and compare every observable.
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
 from repro.config import ScaleConfig
 from repro.crawler.checkpoint import CrawlJournal, record_to_jsonable
 from repro.crawler.crawler import make_crawler
 from repro.crawler.datasets import DatasetBuilder
-from repro.crawler.scheduler import CrawlScheduler
+from repro.crawler.scheduler import CrawlScheduler, clamp_width
 from repro.ecosystem.simulation import run_simulation
 from repro.mypagekeeper.classifier import UrlClassifier
 from repro.mypagekeeper.monitor import MyPageKeeper
@@ -103,6 +105,31 @@ def test_invalid_worker_count_rejected(pristine):
     world, _ = pristine
     with pytest.raises(ValueError):
         CrawlScheduler(make_crawler(world), workers=0)
+
+
+def test_clamp_width_basics(caplog):
+    with caplog.at_level(logging.WARNING, logger="repro.crawler.scheduler"):
+        assert clamp_width(10, 3) == 3
+        assert clamp_width(2, 3) == 2
+        assert clamp_width(3, 3) == 3
+        assert clamp_width(5, 0) == 1  # never below 1
+    clamped = [r for r in caplog.records if "clamping" in r.message]
+    assert len(clamped) == 2  # 10->3 and 5->1 warned; exact fits did not
+
+
+def test_excess_workers_clamped_to_app_count(pristine, caplog):
+    """crawl_many(workers=10) on 3 apps spawns 3 shards, not 10 — loudly."""
+    world, sample = pristine
+    apps = sample[:3]
+    state = world.installer.rng_state()
+    sequential = _crawl_observables(world, apps, workers=1)
+    world.installer.restore_rng_state(state)
+    with caplog.at_level(logging.WARNING, logger="repro.crawler.scheduler"):
+        clamped = _crawl_observables(world, apps, workers=10)
+    assert clamped == sequential
+    assert any(
+        "clamping workers from 10 to 3" in r.message for r in caplog.records
+    )
 
 
 def test_parallel_journal_bytes_identical(pristine, tmp_path):

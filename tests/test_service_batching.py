@@ -4,9 +4,10 @@ The contract has two halves.  **Exactness**: ``batch_size=1`` takes the
 literal historical pop-one/handle-one path, ``pop_batch(1)`` is exactly
 ``[pop()]``, and ``FrappeCascade.score_batch`` routes and scores each
 record bit-identically to ``score_record``.  **Batching**: with
-``batch_size>1`` a tick drains up to that many queued requests of the
-head priority class (never mixing classes), pays the scoring cost once,
-and stamps every response of the batch with the drained size.
+``batch_size>1`` a tick drains up to that many queued requests in
+strict priority order — filling across lanes, exactly the order that
+many consecutive ``pop`` calls would return — pays the scoring cost
+once, and stamps every response of the batch with the drained size.
 """
 
 from __future__ import annotations
@@ -61,13 +62,45 @@ class TestPopBatch:
             assert via_batch.pop_batch(1) == [via_pop.pop()]
         assert len(via_batch) == 0
 
-    def test_batch_never_mixes_priority_classes(self):
+    def test_batch_fills_across_lanes_in_priority_order(self):
+        """A batch drains lanes in strict priority order, FIFO within."""
         queue = self.queue()
         self.fill(queue, [("a", BULK), ("b", INTERACTIVE), ("c", BULK)])
-        first = queue.pop_batch(10)
-        assert [r.app_id for r in first] == ["b"]  # interactive lane first
-        second = queue.pop_batch(10)
-        assert [r.app_id for r in second] == ["a", "c"]
+        batch = queue.pop_batch(10)
+        assert [r.app_id for r in batch] == ["b", "a", "c"]
+        assert len(queue) == 0
+
+    def test_batch_limit_respected_across_lanes(self):
+        """The cross-lane fill stops exactly at the limit."""
+        queue = self.queue()
+        self.fill(queue, [("a", BULK), ("b", INTERACTIVE), ("c", BULK)])
+        assert [r.app_id for r in queue.pop_batch(2)] == ["b", "a"]
+        assert [r.app_id for r in queue.pop_batch(2)] == ["c"]
+
+    def test_batch_order_is_exactly_repeated_pop(self):
+        """pop_batch(k) returns what k consecutive pop() calls would."""
+        specs = [
+            ("a", BULK), ("b", INTERACTIVE), ("c", BULK),
+            ("d", INTERACTIVE), ("e", BULK),
+        ]
+        via_pop, via_batch = self.queue(), self.queue()
+        self.fill(via_pop, specs)
+        self.fill(via_batch, specs)
+        reference = [via_pop.pop() for _ in range(len(specs))]
+        assert via_batch.pop_batch(len(specs)) == reference
+
+    def test_shed_semantics_preserved_after_cross_lane_drain(self):
+        """Draining across lanes does not disturb admission/shedding."""
+        queue = self.queue(depth=2)
+        self.fill(queue, [("a", BULK), ("b", INTERACTIVE)])
+        # full queue: a bulk arrival is itself shed, an interactive
+        # arrival displaces the youngest bulk entry — unchanged
+        rejected = queue.offer(request("c", BULK, 2))
+        assert [r.app_id for r in rejected] == ["c"]
+        evicted = queue.offer(request("d", INTERACTIVE, 3))
+        assert [r.app_id for r in evicted] == ["a"]
+        assert [r.app_id for r in queue.pop_batch(10)] == ["b", "d"]
+        assert queue.snapshot()["total_shed"] == 2
 
     def test_batch_preserves_fifo_order_within_a_lane(self):
         queue = self.queue()

@@ -1,0 +1,443 @@
+"""The multi-process shard supervisor's fault-tolerance contract.
+
+The supervisor's promise is stronger than the thread scheduler's: the
+crawl's records, transport accounting, breaker end states, installer
+RNG position, and export bytes must be identical to the sequential
+``crawl_many`` not only for any process count but under any injected
+worker fault — SIGKILL mid-shard, nonzero exit, a torn shard journal,
+a hang past the heartbeat deadline, a restart budget driven to
+exhaustion (reassignment rung), and every worker dying always (inline
+fallback rung).  These tests inject each fault deterministically via
+:class:`WorkerChaos` and compare every observable bit for bit.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import pytest
+
+from repro.config import ScaleConfig
+from repro.crawler.checkpoint import CrawlJournal, record_to_jsonable
+from repro.crawler.crawler import make_crawler
+from repro.crawler.datasets import DatasetBuilder
+from repro.crawler.scheduler import CrawlScheduler
+from repro.crawler.supervisor import (
+    ALL_SHARDS,
+    CHAOS_ENV,
+    EXIT,
+    HANG,
+    KILL,
+    TORN,
+    ShardJournal,
+    ShardSupervisor,
+    WorkerChaos,
+)
+from repro.ecosystem.simulation import run_simulation
+from repro.mypagekeeper.classifier import UrlClassifier
+from repro.mypagekeeper.monitor import MyPageKeeper
+from repro.platform.transport import TransportStats
+
+from tests.conftest import TEST_SCALE, TEST_SEED
+
+FAULT_RATE = 0.2
+#: generous wall-clock deadline for tests that must NOT trip it
+NO_HANG_S = 60.0
+
+
+@pytest.fixture(scope="module")
+def crawl_world():
+    """One faulted world with its D-Sample attached."""
+    world = run_simulation(
+        ScaleConfig(scale=TEST_SCALE, master_seed=TEST_SEED, fault_rate=FAULT_RATE)
+    )
+    report = MyPageKeeper(
+        UrlClassifier(world.services.blacklist), world.post_log
+    ).scan()
+    bundle = DatasetBuilder(world, report).build(crawl=False)
+    return world, sorted(bundle.d_sample)
+
+
+@pytest.fixture()
+def pristine(crawl_world):
+    """Restore the installer RNG (the only world state a crawl consumes)."""
+    world, sample = crawl_world
+    state = world.installer.rng_state()
+    yield world, sample
+    world.installer.restore_rng_state(state)
+
+
+def _observables(world, crawler, records):
+    """Every externally visible consequence of a crawl, comparable."""
+    return {
+        "records": {a: record_to_jsonable(r) for a, r in sorted(records.items())},
+        "stats": crawler.stats.snapshot(),
+        "state": crawler.snapshot_state(),
+        "installer_rng": world.installer.rng_state(),
+    }
+
+
+def _sequential(world, apps):
+    state = world.installer.rng_state()
+    crawler = make_crawler(world)
+    observables = _observables(world, crawler, crawler.crawl_many(apps))
+    world.installer.restore_rng_state(state)
+    return observables
+
+
+def _supervised(world, apps, **kwargs):
+    crawler = make_crawler(world)
+    kwargs.setdefault("heartbeat_timeout_s", NO_HANG_S)
+    supervisor = ShardSupervisor(crawler, **kwargs)
+    records = supervisor.crawl(apps)
+    return _observables(world, crawler, records), supervisor
+
+
+# -- WorkerChaos -------------------------------------------------------------
+
+
+class TestWorkerChaos:
+    def test_fires_only_on_its_target(self):
+        chaos = WorkerChaos(mode=KILL, shard=1, app_index=2)
+        assert chaos.due(shard=1, incarnation=0, app_index=2)
+        assert not chaos.due(shard=0, incarnation=0, app_index=2)
+        assert not chaos.due(shard=1, incarnation=0, app_index=1)
+        # replacements are spared unless the fault is persistent
+        assert not chaos.due(shard=1, incarnation=1, app_index=2)
+
+    def test_persistent_fires_every_incarnation(self):
+        chaos = WorkerChaos(mode=KILL, shard=0, app_index=0, persistent=True)
+        assert chaos.due(shard=0, incarnation=0, app_index=0)
+        assert chaos.due(shard=0, incarnation=3, app_index=0)
+
+    def test_all_shards_wildcard(self):
+        chaos = WorkerChaos(mode=EXIT, shard=ALL_SHARDS, app_index=0)
+        assert chaos.due(shard=0, incarnation=0, app_index=0)
+        assert chaos.due(shard=7, incarnation=0, app_index=0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="chaos mode"):
+            WorkerChaos(mode="meteor", shard=0)
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(CHAOS_ENV, raising=False)
+        assert WorkerChaos.from_env() is None
+        monkeypatch.setenv(CHAOS_ENV, "kill:1:2")
+        assert WorkerChaos.from_env() == WorkerChaos(
+            mode=KILL, shard=1, app_index=2
+        )
+        monkeypatch.setenv(CHAOS_ENV, "hang:*:0:persistent")
+        assert WorkerChaos.from_env() == WorkerChaos(
+            mode=HANG, shard=ALL_SHARDS, app_index=0, persistent=True
+        )
+        monkeypatch.setenv(CHAOS_ENV, "garbled")
+        with pytest.raises(ValueError, match=CHAOS_ENV):
+            WorkerChaos.from_env()
+
+
+# -- ShardJournal ------------------------------------------------------------
+
+
+class TestShardJournal:
+    def _speculations(self, pristine, n):
+        world, sample = pristine
+        scheduler = CrawlScheduler(make_crawler(world), workers=1)
+        return [scheduler.speculate(app_id) for app_id in sample[:n]]
+
+    def test_roundtrip(self, pristine, tmp_path):
+        from repro.crawler.scheduler import speculation_to_jsonable
+
+        specs = self._speculations(pristine, 3)
+        journal = ShardJournal(tmp_path / "shard0.jsonl", for_append=True)
+        for spec in specs:
+            journal.append(spec)
+        journal.close()
+        reopened = ShardJournal(tmp_path / "shard0.jsonl")
+        assert reopened.app_ids() == {s.app_id for s in specs}
+        decoded = reopened.speculations()
+        for spec in specs:
+            assert speculation_to_jsonable(
+                decoded[spec.app_id]
+            ) == speculation_to_jsonable(spec)
+
+    def test_torn_tail_quarantined_to_sidecar(self, pristine, tmp_path):
+        specs = self._speculations(pristine, 3)
+        path = tmp_path / "shard0.jsonl"
+        journal = ShardJournal(path, for_append=True)
+        journal.append(specs[0])
+        journal.append(specs[1])
+        journal.append(specs[2], tear=True)  # the mid-append death artifact
+        journal.close()
+
+        recovered = ShardJournal(path)
+        assert recovered.app_ids() == {specs[0].app_id, specs[1].app_id}
+        assert len(recovered.quarantined) == 1
+        sidecar = path.with_name(path.name + ".corrupt")
+        assert sidecar.exists() and sidecar.stat().st_size > 0
+        # recovery rewrote the journal: a second open sees no damage
+        assert ShardJournal(path).quarantined == ()
+
+    def test_repeated_quarantine_gets_fresh_sidecars(self, pristine, tmp_path):
+        specs = self._speculations(pristine, 3)
+        path = tmp_path / "shard0.jsonl"
+        journal = ShardJournal(path, for_append=True)
+        journal.append(specs[0], tear=True)
+        journal.close()
+        ShardJournal(path)  # first quarantine -> .corrupt
+        journal = ShardJournal(path, for_append=True)
+        journal.append(specs[1])
+        journal.append(specs[2], tear=True)
+        journal.close()
+        ShardJournal(path)  # second quarantine -> .corrupt.1
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert path.with_name(path.name + ".corrupt.1").exists()
+
+
+# -- byte-identity under process faults --------------------------------------
+
+
+def test_fault_free_multiprocess_is_byte_identical(pristine):
+    world, sample = pristine
+    apps = sample[:20]
+    sequential = _sequential(world, apps)
+    supervised, supervisor = _supervised(world, apps, processes=4)
+    assert supervised == sequential
+    assert supervisor.worker_deaths == 0
+    assert supervisor.committed_speculative == len(apps)
+
+
+def test_sigkill_mid_shard_is_byte_identical(pristine):
+    """processes=4, one worker SIGKILLed mid-shard: identical output."""
+    world, sample = pristine
+    apps = sample[:24]
+    sequential = _sequential(world, apps)
+    supervised, supervisor = _supervised(
+        world, apps, processes=4,
+        chaos=WorkerChaos(mode=KILL, shard=1, app_index=2),
+    )
+    assert supervised == sequential
+    assert supervisor.worker_deaths == 1
+    assert supervisor.restarts == 1
+    assert (
+        supervisor.committed_speculative + supervisor.recrawled_inline
+        == len(apps)
+    )
+
+
+def test_nonzero_exit_is_byte_identical(pristine):
+    world, sample = pristine
+    apps = sample[:16]
+    sequential = _sequential(world, apps)
+    supervised, supervisor = _supervised(
+        world, apps, processes=3,
+        chaos=WorkerChaos(mode=EXIT, shard=2, app_index=1),
+    )
+    assert supervised == sequential
+    assert supervisor.worker_deaths == 1
+
+
+def test_torn_shard_journal_is_byte_identical(pristine):
+    """A worker dying mid-append leaves a torn line; recovery quarantines
+    it and the replacement re-speculates that app — identical output."""
+    world, sample = pristine
+    apps = sample[:16]
+    sequential = _sequential(world, apps)
+    supervised, supervisor = _supervised(
+        world, apps, processes=3,
+        chaos=WorkerChaos(mode=TORN, shard=0, app_index=1),
+    )
+    assert supervised == sequential
+    assert supervisor.worker_deaths == 1
+    assert supervisor.restarts == 1
+
+
+def test_hang_past_heartbeat_deadline_is_byte_identical(pristine):
+    """A silent (hung) worker is killed at the deadline and replaced."""
+    world, sample = pristine
+    apps = sample[:16]
+    sequential = _sequential(world, apps)
+    supervised, supervisor = _supervised(
+        world, apps, processes=3,
+        heartbeat_timeout_s=1.0,
+        chaos=WorkerChaos(mode=HANG, shard=1, app_index=1),
+    )
+    assert supervised == sequential
+    assert supervisor.heartbeat_gaps == 1
+    assert supervisor.worker_deaths == 1
+    assert supervisor.restarts == 1
+
+
+# -- the degradation ladder --------------------------------------------------
+
+
+def test_budget_exhaustion_reassigns_and_completes(pristine):
+    """Restart budget exhausted: remaining apps are reassigned to a
+    rescue wave and the crawl still completes 100% of apps exactly once,
+    byte-identical to sequential."""
+    world, sample = pristine
+    apps = sample[:18]
+    sequential = _sequential(world, apps)
+    supervised, supervisor = _supervised(
+        world, apps, processes=3,
+        max_restarts=1, restart_backoff_s=0.0,
+        chaos=WorkerChaos(mode=KILL, shard=0, app_index=0, persistent=True),
+    )
+    assert supervised == sequential
+    assert supervisor.worker_deaths == 2  # incarnations 0 and 1 of shard 0
+    assert supervisor.reassigned_apps == len(apps[0::3])
+    # every app committed exactly once, between the two commit modes
+    assert (
+        supervisor.committed_speculative + supervisor.recrawled_inline
+        == len(apps)
+    )
+    assert set(supervised["records"]) == set(apps)
+
+
+def test_every_worker_dying_falls_back_to_inline(pristine):
+    """All workers die on every incarnation: the last rung (in-process
+    sequential crawl at commit) still completes everything exactly once."""
+    world, sample = pristine
+    apps = sample[:12]
+    sequential = _sequential(world, apps)
+    supervised, supervisor = _supervised(
+        world, apps, processes=3,
+        max_restarts=1, restart_backoff_s=0.0,
+        chaos=WorkerChaos(
+            mode=KILL, shard=ALL_SHARDS, app_index=0, persistent=True
+        ),
+    )
+    assert supervised == sequential
+    assert supervisor.committed_speculative == 0
+    assert supervisor.recrawled_inline == len(apps)
+    assert set(supervised["records"]) == set(apps)
+
+
+# -- composition with the main checkpoint journal ---------------------------
+
+
+def test_journal_bytes_identical_under_worker_kill(pristine, tmp_path):
+    """The main WAL's bytes are identical to a sequential journaled run
+    even when a worker is killed mid-shard (shard journals live in a
+    ``shards/`` subdirectory and never leak into the main journal)."""
+    world, sample = pristine
+    apps = sample[:15]
+
+    def journaled(directory, **kwargs):
+        state = world.installer.rng_state()
+        crawler = make_crawler(world)
+        with CrawlJournal(directory) as journal:
+            if kwargs:
+                ShardSupervisor(
+                    crawler, heartbeat_timeout_s=NO_HANG_S, **kwargs
+                ).crawl(apps, journal=journal)
+            else:
+                crawler.crawl_many(apps, journal=journal)
+        world.installer.restore_rng_state(state)
+        return (directory / "journal.jsonl").read_bytes()
+
+    sequential = journaled(tmp_path / "seq")
+    supervised = journaled(
+        tmp_path / "sup", processes=3,
+        chaos=WorkerChaos(mode=KILL, shard=1, app_index=1),
+    )
+    assert supervised == sequential
+    shard_files = sorted(
+        p.name for p in (tmp_path / "sup" / "shards").glob("shard*.jsonl")
+    )
+    assert shard_files == ["shard0.jsonl", "shard1.jsonl", "shard2.jsonl"]
+
+
+def test_resume_after_supervisor_run_is_replayed(pristine, tmp_path):
+    world, sample = pristine
+    apps = sample[:9]
+    crawler = make_crawler(world)
+    with CrawlJournal(tmp_path) as journal:
+        ShardSupervisor(
+            crawler, processes=3, heartbeat_timeout_s=NO_HANG_S
+        ).crawl(apps, journal=journal)
+    # a fresh crawler resumes: everything is durable, nothing re-crawled
+    resumed_crawler = make_crawler(world)
+    with CrawlJournal(tmp_path) as journal:
+        records = ShardSupervisor(
+            resumed_crawler, processes=3, heartbeat_timeout_s=NO_HANG_S
+        ).crawl(apps, journal=journal)
+    assert sorted(records) == apps
+    assert resumed_crawler.stats.requests > 0  # restored accounting
+
+
+def test_pipeline_export_bytes_identical_under_worker_kill(
+    tmp_path, monkeypatch
+):
+    """End to end: a full pipeline with ``crawl_processes=3`` and a
+    SIGKILLed worker (injected via the chaos env var, as CI does)
+    exports byte-identical dataset files to the sequential pipeline."""
+    from repro.core.pipeline import FrappePipeline
+    from repro.io import export_dataset
+
+    def run(processes):
+        return FrappePipeline(
+            ScaleConfig(
+                scale=TEST_SCALE,
+                master_seed=TEST_SEED,
+                fault_rate=FAULT_RATE,
+                crawl_processes=processes,
+            )
+        ).run(sweep_unlabelled=False)
+
+    monkeypatch.delenv(CHAOS_ENV, raising=False)
+    export_dataset(run(1), tmp_path / "sequential.json")
+    monkeypatch.setenv(CHAOS_ENV, "kill:0:1")
+    export_dataset(run(3), tmp_path / "supervised.json")
+    sequential = (tmp_path / "sequential.json").read_bytes()
+    supervised = (tmp_path / "supervised.json").read_bytes()
+    assert supervised == sequential
+
+
+# -- clamping and dispatch ---------------------------------------------------
+
+
+def test_processes_clamped_to_app_count(pristine, caplog):
+    world, sample = pristine
+    apps = sample[:3]
+    sequential = _sequential(world, apps)
+    with caplog.at_level(logging.WARNING, logger="repro.crawler.scheduler"):
+        supervised, _ = _supervised(world, apps, processes=10)
+    assert supervised == sequential
+    assert any(
+        "clamping processes from 10 to 3" in r.message for r in caplog.records
+    )
+
+
+def test_crawl_many_dispatches_processes(pristine):
+    world, sample = pristine
+    apps = sample[:8]
+    sequential = _sequential(world, apps)
+    crawler = make_crawler(world)
+    records = crawler.crawl_many(apps, processes=4)
+    assert _observables(world, crawler, records) == sequential
+
+
+def test_invalid_supervisor_config_rejected(pristine):
+    world, _ = pristine
+    crawler = make_crawler(world)
+    with pytest.raises(ValueError):
+        ShardSupervisor(crawler, processes=0)
+    with pytest.raises(ValueError):
+        ShardSupervisor(crawler, processes=2, heartbeat_timeout_s=0.0)
+
+
+# -- picklable transport state (process transfer) ----------------------------
+
+
+def test_transport_stats_pickles_without_its_lock(pristine):
+    world, sample = pristine
+    crawler = make_crawler(world)
+    crawler.crawl_many(sample[:2])
+    stats = crawler.stats
+    clone = pickle.loads(pickle.dumps(stats))
+    assert isinstance(clone, TransportStats)
+    assert clone.snapshot() == stats.snapshot()
+    # the restored lock is a working lock, not a stale pickled stub
+    with clone._lock:
+        pass
