@@ -1,0 +1,96 @@
+"""Drift-machinery benchmarks: detector throughput and warm-start value.
+
+Two numbers matter for running the lifecycle loop inline with serving:
+
+* **detector window evaluation** — PSI/KS over every watched feature
+  column must stay cheap enough to run on every filled window, and
+* **warm-started retraining** — seeding SMO with the carried dual
+  vector should converge in no more iterations than a cold fit on the
+  same window (it is the same convex QP from a closer start).
+
+Run with ``pytest benchmarks/test_perf_drift.py --benchmark-only -s``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.drift import DriftConfig, DriftDetector
+from repro.ml.online import SlidingWindowTrainer, WindowModel
+
+SEED = 2012
+N_FEATURES = 7
+WINDOW = 200
+N_WINDOWS = 20
+
+
+def _stream(rng, n, shift=0.0):
+    rows = rng.normal(size=(n, N_FEATURES)) + shift
+    margins = rng.normal(loc=-0.5 + shift, size=n)
+    return rows, margins
+
+
+def test_perf_detector_window_throughput(benchmark):
+    rng = np.random.default_rng(SEED)
+    reference_rows, reference_margins = _stream(rng, 2000)
+    feature_names = tuple(f"f{i}" for i in range(N_FEATURES))
+    rows, margins = _stream(rng, WINDOW * N_WINDOWS, shift=0.3)
+
+    def evaluate():
+        detector = DriftDetector(
+            reference_rows,
+            reference_margins,
+            feature_names,
+            DriftConfig(window=WINDOW),
+        )
+        return detector.update(rows, margins, t=1.0)
+
+    reports = benchmark.pedantic(evaluate, rounds=3, iterations=1)
+    assert len(reports) == N_WINDOWS
+    per_window_s = benchmark.stats.stats.mean / N_WINDOWS
+    print()
+    print(f"windows evaluated   {N_WINDOWS} x {WINDOW} samples "
+          f"x {N_FEATURES} features")
+    print(f"per-window cost     {per_window_s * 1e3:.2f} ms")
+    # An epoch's worth of windows must be far below one epoch of
+    # simulated crawling; 50ms/window is an order of magnitude slack.
+    assert per_window_s < 0.05
+
+
+def test_perf_warm_start_saves_iterations(benchmark):
+    rng = np.random.default_rng(SEED)
+
+    def epoch(n=120):
+        y = (rng.random(n) < 0.45).astype(int)
+        y[0], y[1] = 0, 1
+        x = rng.normal(size=(n, N_FEATURES)) + 1.8 * y[:, None]
+        return x, y
+
+    trainer = SlidingWindowTrainer(window_epochs=3)
+    for _ in range(3):
+        trainer.push(*epoch())
+    trainer.train()  # establish the carried dual vector
+    trainer.push(*epoch())
+
+    def warm_fit():
+        return trainer.train()
+
+    warm = benchmark.pedantic(warm_fit, rounds=1, iterations=1)
+    assert trainer.last_warm_start
+    x, y = trainer.window()
+    cold = WindowModel().fit(x, y)
+    warm_iters = warm.svm.n_iterations_
+    cold_iters = cold.svm.n_iterations_
+    print()
+    print(f"window              {len(y)} samples")
+    print(f"iterations          warm={warm_iters} cold={cold_iters}")
+    # The warm seed must not make the solve harder; typically it is
+    # strictly cheaper, but SMO's heuristics leave a little slack.
+    assert warm_iters <= cold_iters * 1.5
+    # And the destination is the same optimum.
+    probe = rng.normal(size=(100, N_FEATURES)) + 0.9
+    np.testing.assert_allclose(
+        warm.decision_function(probe),
+        cold.decision_function(probe),
+        atol=0.15,
+    )

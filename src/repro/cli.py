@@ -7,6 +7,9 @@ Commands
 ``evaluate``     run the watchdog over app IDs (or a random sample)
 ``crawl``        crawl D-Sample under injected faults, report resilience
 ``serve``        drive the online verdict service with an open-loop load
+``drift``        sweep campaign drift rates through the model lifecycle:
+                 detection accuracy, static-vs-online accuracy, and
+                 champion–challenger promotions/rollbacks per rate
 ``forensics``    run the Sec 6 AppNet investigation
 ``bench``        perf-regression harness: time every fast path against
                  its kept-alive naive reference, write ``BENCH_<n>.json``,
@@ -179,6 +182,42 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--queue-depth", type=int, default=16,
         help="admission queue bound (default 16)",
+    )
+    serve.add_argument(
+        "--canary", choices=("good", "bad"), default=None,
+        help="attach a champion–challenger rollout and put a canary on "
+             "probation: 'good' agrees with the champion and is "
+             "promoted; 'bad' inverts every verdict and must be "
+             "rolled back by the health gate",
+    )
+
+    drift = sub.add_parser(
+        "drift",
+        help="adversarial-drift sweep: detection accuracy vs drift rate "
+             "plus the champion–challenger lifecycle response",
+    )
+    drift.add_argument(
+        "--epochs", type=int, default=6,
+        help="simulated epochs per trajectory (default 6)",
+    )
+    drift.add_argument(
+        "--apps-per-epoch", type=int, default=160,
+        help="cohort size per epoch (default 160)",
+    )
+    drift.add_argument(
+        "--drift-rates", default="0.0,0.25,0.5,1.0", metavar="R,R,...",
+        help="comma-separated per-epoch intensity increments "
+             "(default 0.0,0.25,0.5,1.0)",
+    )
+    drift.add_argument(
+        "--inject-bad-canary", type=int, default=None, metavar="EPOCH",
+        help="at EPOCH, skip the promotion gate and push a broken model "
+             "straight into canary probation (rollback chaos test)",
+    )
+    drift.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the drift-metrics JSONL (epoch, window, and summary "
+             "rows) to FILE",
     )
 
     bench = sub.add_parser(
@@ -386,6 +425,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     service = make_service(
         result, ServiceConfig(max_queue_depth=args.queue_depth)
     )
+    if args.canary:
+        service.rollout = _build_canary_rollout(service, args.canary)
     capacity = estimate_capacity_rps(result.world.schedule)
     profile = LoadProfile(
         n_requests=args.requests,
@@ -401,6 +442,84 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({args.overload:.1f}x estimated capacity "
           f"{capacity:.3f} req/s), fault_rate={result.world.config.fault_rate}")
     print(report.summary())
+    if service.rollout is not None:
+        for incident in service.rollout.incidents:
+            print(f"rollback:    canary v{incident.canary_version} -> "
+                  f"champion v{incident.restored_version} restored "
+                  f"({incident.reason})")
+    return 0
+
+
+class _InvertedCascade:
+    """A deliberately broken model: every verdict flipped."""
+
+    def __init__(self, cascade) -> None:
+        self._cascade = cascade
+
+    def score_record(self, record):
+        prediction, margin, tier = self._cascade.score_record(record)
+        if tier in ("frappe", "lite"):
+            return 1 - prediction, -margin, tier
+        return prediction, margin, tier
+
+
+def _build_canary_rollout(service, kind: str):
+    """A rollout with the service's own cascade as champion and a
+    probationary canary: the cascade again ('good') or its inversion
+    ('bad', which the health gate must catch and roll back)."""
+    from repro.service import ModelRegistry, RolloutConfig, RolloutController
+
+    registry = ModelRegistry()
+    champion = registry.register(service.cascade, note="serving champion")
+    payload = (
+        service.cascade if kind == "good"
+        else _InvertedCascade(service.cascade)
+    )
+    challenger = registry.register(payload, note=f"{kind} canary")
+    controller = RolloutController(
+        registry,
+        champion.version,
+        config=RolloutConfig(
+            canary_fraction=0.4, canary_requests=20, min_canary_sample=6
+        ),
+    )
+    controller.start_canary(challenger.version, t=0.0)
+    return controller
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    """Drift sweep: detection accuracy vs drift rate, with lifecycle."""
+    from repro.core.lifecycle import (
+        LifecycleConfig,
+        run_drift_sweep,
+        write_drift_metrics,
+    )
+    from repro.ecosystem.drift import DriftPlan
+
+    rates = [float(r) for r in args.drift_rates.split(",") if r.strip()]
+    plan = DriftPlan(
+        seed=args.seed,
+        n_epochs=args.epochs,
+        apps_per_epoch=args.apps_per_epoch,
+    )
+    config = LifecycleConfig(inject_bad_canary_epoch=args.inject_bad_canary)
+    sweep = run_drift_sweep(rates, plan=plan, config=config)
+    print(f"epochs:      {plan.n_epochs} x {plan.apps_per_epoch} apps, "
+          f"seed={plan.seed}")
+    print(sweep.table())
+    for row in sweep.rows:
+        final = row.result.outcomes[-1]
+        print(f"rate {row.drift_rate:.2f}: final epoch "
+              f"static={final.static_accuracy:.3f} "
+              f"online={final.online_accuracy:.3f} "
+              f"champion=v{final.champion_version}")
+        for incident in row.result.incidents:
+            print(f"  rollback: canary v{incident.canary_version} -> "
+                  f"v{incident.restored_version} restored "
+                  f"({incident.reason})")
+    if args.out:
+        n = write_drift_metrics(args.out, sweep)
+        print(f"metrics:     {args.out} ({n} rows)")
     return 0
 
 
@@ -460,6 +579,7 @@ _COMMANDS = {
     "evaluate": _cmd_evaluate,
     "crawl": _cmd_crawl,
     "serve": _cmd_serve,
+    "drift": _cmd_drift,
     "forensics": _cmd_forensics,
     "bench": _cmd_bench,
     "export": _cmd_export,

@@ -64,13 +64,28 @@ class FrappeClassifier:
     # -- training / inference ----------------------------------------------
 
     def fit(
-        self, records: list[CrawlRecord], labels: np.ndarray | list[int]
+        self,
+        records: list[CrawlRecord],
+        labels: np.ndarray | list[int],
+        init_alphas: np.ndarray | None = None,
     ) -> "FrappeClassifier":
+        """Fit; ``init_alphas`` warm-starts SMO from a previous model's
+        dual vector (aligned with ``records``; ``None`` is the exact
+        historical cold-start path)."""
         x = self._matrix(records)
         y = np.asarray(labels).astype(int)
         self._scaler = StandardScaler().fit(x)
-        self._svm = SVC(**self._svm_params).fit(self._scaler.transform(x), y)
+        self._svm = SVC(**self._svm_params).fit(
+            self._scaler.transform(x), y, init_alphas=init_alphas
+        )
         return self
+
+    @property
+    def svm(self) -> SVC:
+        """The fitted SVM (exposes ``alphas_`` for warm-started retrains)."""
+        if self._svm is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._svm
 
     def predict(self, records: list[CrawlRecord]) -> np.ndarray:
         if self._svm is None or self._scaler is None:

@@ -13,7 +13,16 @@ from repro.ecosystem.params import GenerationParams
 from repro.ecosystem.names import NameFactory
 from repro.ecosystem.messages import MessageFactory
 from repro.ecosystem.benign import BenignPopulation
-from repro.ecosystem.campaigns import CampaignPlan, HackerCampaign
+from repro.ecosystem.campaigns import (
+    DRIFTING_ARCHETYPES,
+    BenignMimicryCampaign,
+    CampaignPlan,
+    DriftingCampaign,
+    FakeProfileRingCampaign,
+    HackerCampaign,
+    StealthyLikeFarmCampaign,
+)
+from repro.ecosystem.drift import DriftPlan, EpochData, EpochGenerator
 from repro.ecosystem.piggyback import PiggybackOperation
 from repro.ecosystem.simulation import SimulatedWorld, run_simulation
 
@@ -24,6 +33,14 @@ __all__ = [
     "BenignPopulation",
     "CampaignPlan",
     "HackerCampaign",
+    "DriftingCampaign",
+    "StealthyLikeFarmCampaign",
+    "FakeProfileRingCampaign",
+    "BenignMimicryCampaign",
+    "DRIFTING_ARCHETYPES",
+    "DriftPlan",
+    "EpochData",
+    "EpochGenerator",
     "PiggybackOperation",
     "SimulatedWorld",
     "run_simulation",

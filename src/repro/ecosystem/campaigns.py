@@ -35,7 +35,17 @@ from repro.platform.posts import Post
 from repro.urlinfra.hosting import AWS_PROVIDER
 from repro.urlinfra.redirector import IndirectionSite
 
-__all__ = ["Pod", "CampaignPlan", "HackerCampaign", "plan_campaign_sizes"]
+__all__ = [
+    "Pod",
+    "CampaignPlan",
+    "HackerCampaign",
+    "plan_campaign_sizes",
+    "DriftingCampaign",
+    "StealthyLikeFarmCampaign",
+    "FakeProfileRingCampaign",
+    "BenignMimicryCampaign",
+    "DRIFTING_ARCHETYPES",
+]
 
 _ROLES = ("promoter", "promotee", "dual")
 
@@ -678,3 +688,188 @@ class HackerCampaign:
             shortener = self._services.shortener_for(rng, self._params.bitly_share)
             landing = shortener.shorten(landing)
         return self._services.messages.benign_message(app.name), landing, likes, comments
+
+
+# ----------------------------------------------------------------------
+# drifting variants (Sec 7's adapting hackers)
+# ----------------------------------------------------------------------
+
+
+class DriftingCampaign(HackerCampaign):
+    """A hacker organisation that adapts to a deployed detector.
+
+    ``drift`` in [0, 1] is how far the organisation has adapted (0 =
+    the 2012 behaviour FRAppE trained on, 1 = fully adapted).  The
+    contract every subclass honours: **at drift = 0 the campaign is
+    byte-identical to a plain** :class:`HackerCampaign` **with the same
+    RNG stream** — every adaptation lives behind ``if self.drift > 0``
+    and mutates the already built population, consuming RNG draws only
+    after the base construction sequence finished.  That is what lets
+    the pipeline's drift-off identity test hold.
+    """
+
+    archetype = "drifting"
+
+    def __init__(
+        self,
+        plan: CampaignPlan,
+        services: EcosystemServices,
+        params: GenerationParams,
+        rng: np.random.Generator,
+        scale: float = 1.0,
+        crawl_months: int = 3,
+        drift: float = 0.0,
+    ) -> None:
+        super().__init__(plan, services, params, rng, scale, crawl_months)
+        self.drift = float(min(max(drift, 0.0), 1.0))
+
+    def build(self) -> list[FacebookApp]:
+        apps = super().build()
+        if self.drift > 0.0:
+            self._apply_drift()
+        return apps
+
+    def _apply_drift(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _campaign_app_ids(self) -> list[str]:
+        """Non-professional member IDs in creation order (professional
+        apps already mimic benign behaviour; drift adapts the rest)."""
+        return [
+            app.app_id
+            for app in self.apps
+            if app.app_id not in self.professional_app_ids
+        ]
+
+
+class StealthyLikeFarmCampaign(DriftingCampaign):
+    """A like farm turning stealthy (Ikram et al., 1506.00506).
+
+    With rising drift the farm mimics organic behaviour: loud apps go
+    quiet (their keyword-dense lure posts stop, so MyPageKeeper loses
+    its handle), external-link ratios collapse toward the benign level,
+    engagement on lure posts is bought to look healthy, and overall
+    posting volume drops toward organic rates.
+    """
+
+    archetype = "like_farm"
+
+    def _apply_drift(self) -> None:
+        rng = self._rng
+        demoted = [
+            app_id
+            for app_id in sorted(self.loud_app_ids)
+            if rng.random() < self.drift
+        ]
+        self.loud_app_ids.difference_update(demoted)
+        for app_id in self._campaign_app_ids():
+            fade = self.drift * float(rng.uniform(0.6, 1.0))
+            self._external_ratio[app_id] *= 1.0 - fade
+
+    def post_weights(self) -> np.ndarray:
+        weights = super().post_weights()
+        if self.drift > 0.0:
+            weights = weights * (1.0 - 0.6 * self.drift)
+        return weights
+
+    def _stealth_lure_post(
+        self, app: FacebookApp, external_ratio: float
+    ) -> tuple[str, str | None, int, int]:
+        message, link, likes, comments = super()._stealth_lure_post(
+            app, external_ratio
+        )
+        if self.drift > 0.0 and self._rng.random() < self.drift:
+            # Bought engagement: lure posts carry organic-looking
+            # like/comment counts instead of the spam signature.
+            likes, comments = self._services.messages.benign_engagement()
+        return message, link, likes, comments
+
+
+class FakeProfileRingCampaign(DriftingCampaign):
+    """A coordinated fake-profile ring (Fire et al., 1303.3751).
+
+    The ring rotates identities between epochs: pods abandon the reused
+    scam names that made the paper's name-clustering forensics work and
+    re-register under fresh benign-style names, and members migrate to
+    honest install flows so the client-ID-mismatch tell fades.
+    """
+
+    archetype = "profile_ring"
+
+    def _apply_drift(self) -> None:
+        rng = self._rng
+        fresh_names = self._services.names.benign_names(len(self.pods))
+        for pod, fresh in zip(self.pods, fresh_names):
+            if rng.random() >= self.drift:
+                continue
+            pod.name = fresh
+            for app in pod.apps:
+                if app.app_id in self.professional_app_ids:
+                    continue
+                app.name = fresh
+        for app in self.apps:
+            if not app.client_id_pool:
+                continue
+            if rng.random() < self.drift:
+                app.client_id_pool = ()
+
+
+class BenignMimicryCampaign(DriftingCampaign):
+    """Scam apps camouflaged as legitimate ones.
+
+    The campaign adopts the *benign generation laws* wholesale — the
+    professional-app playbook of Sec 5.1's false negatives, applied to
+    an increasing fraction of the fleet: filled-in summaries, the
+    benign permission distribution, reputable (or facebook.com) front
+    domains, and a populated profile page.
+    """
+
+    archetype = "mimicry"
+
+    def _apply_drift(self) -> None:
+        from repro.ecosystem.benign import draw_benign_permissions
+
+        rng = self._rng
+        params = self._params
+        for app in self.apps:
+            if app.app_id in self.professional_app_ids:
+                continue
+            if rng.random() >= self.drift:
+                continue
+            slug = (
+                "".join(ch for ch in app.name.lower() if ch.isalnum())[:18]
+                or "app"
+            )
+            app.description = f"{app.name} - play with your friends!"
+            app.company = f"{slug.title()} Studio"
+            app.category = "Games"
+            app.permissions = draw_benign_permissions(rng, params)
+            if rng.random() < params.benign_redirect_facebook:
+                app.redirect_uri = f"https://apps.facebook.com/{slug}"
+            else:
+                front = f"{slug}{int(rng.integers(1, 50))}front.com"
+                self._services.wot.seed_reputable(front)
+                self._services.hosting.assign(front, "self-hosted")
+                app.redirect_uri = f"https://www.{front}/canvas"
+            if not app.profile_feed:
+                for _ in range(int(rng.integers(2, 8))):
+                    self._profile_post_serial += 1
+                    app.profile_feed.append(
+                        Post(
+                            post_id=-(10**9) - self._profile_post_serial,
+                            day=int(rng.integers(0, 270)),
+                            user_id=int(rng.integers(0, self._services.n_users)),
+                            app_id=app.app_id,
+                            message=self._services.messages.benign_message(
+                                app.name
+                            ),
+                        )
+                    )
+
+
+#: archetype name -> drifting campaign class, in a stable order
+DRIFTING_ARCHETYPES: dict[str, type[DriftingCampaign]] = {
+    StealthyLikeFarmCampaign.archetype: StealthyLikeFarmCampaign,
+    FakeProfileRingCampaign.archetype: FakeProfileRingCampaign,
+    BenignMimicryCampaign.archetype: BenignMimicryCampaign,
+}

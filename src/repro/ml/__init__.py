@@ -9,18 +9,31 @@ No ML library is available offline, so this package implements:
 * :mod:`repro.ml.metrics` — the paper's accuracy / false-positive /
   false-negative metrics (positive class = malicious),
 * :mod:`repro.ml.crossval` — stratified k-fold cross-validation and the
-  benign:malicious ratio resampling used in Table 5.
+  benign:malicious ratio resampling used in Table 5,
+* :mod:`repro.ml.drift` — windowed PSI / KS feature-distribution and
+  score-calibration drift monitors,
+* :mod:`repro.ml.online` — sliding-window warm-started retraining.
 """
 
 from repro.ml.kernels import KERNELS, linear_kernel, polynomial_kernel, rbf_kernel
 from repro.ml.scaling import StandardScaler
 from repro.ml.metrics import ClassificationReport, confusion_report
-from repro.ml.svm import SVC
+from repro.ml.svm import SVC, project_feasible_alphas
 from repro.ml.crossval import (
     cross_validate,
     stratified_kfold_indices,
     subsample_to_ratio,
 )
+from repro.ml.drift import (
+    DriftConfig,
+    DriftDetector,
+    DriftReport,
+    ks_noise_allowance,
+    ks_statistic,
+    psi,
+    psi_noise_allowance,
+)
+from repro.ml.online import SlidingWindowTrainer, WindowModel, carry_alphas
 
 __all__ = [
     "KERNELS",
@@ -31,7 +44,18 @@ __all__ = [
     "ClassificationReport",
     "confusion_report",
     "SVC",
+    "project_feasible_alphas",
     "cross_validate",
     "stratified_kfold_indices",
     "subsample_to_ratio",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftReport",
+    "psi",
+    "psi_noise_allowance",
+    "ks_statistic",
+    "ks_noise_allowance",
+    "SlidingWindowTrainer",
+    "WindowModel",
+    "carry_alphas",
 ]

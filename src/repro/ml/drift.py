@@ -1,0 +1,353 @@
+"""Windowed drift detection for the FRAppE feature space.
+
+FRAppE's §7 robustness discussion concedes that hackers adapt once a
+detector ships.  This module watches for that adaptation the way an
+operator can without fresh labels:
+
+* **feature drift** — per-column PSI (population stability index) and
+  two-sample KS statistics comparing a reference window of
+  :meth:`~repro.core.features.FeatureExtractor.matrix` rows against the
+  most recent window, and
+* **score-calibration drift** — PSI over the SVM margin distribution
+  plus the shift in the flagged-positive rate, which moves when the
+  feature distribution slides across the frozen decision boundary.
+
+Everything is deterministic: windows are keyed to *simulated* clocks
+(epoch days, never wall time), histogram edges come from reference
+quantiles, and the same sample stream always yields the same reports.
+Metrics flow through the PR-5 :class:`~repro.obs.observer.Observer`
+protocol (``drift.window`` events, ``drift_*`` gauges/counters) and
+cost nothing when observation is off.
+
+Decision rule (pinned by the boundary tests): a window **is** drifted
+when its score reaches the threshold exactly (``>=``), a window is
+evaluated the moment it is exactly full, zero-variance columns compare
+as a two-bin "equal vs. not" histogram instead of degenerating to NaN,
+and single-sample windows are legal (the KS statistic of a one-point
+ECDF is well defined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.obs.observer import get_observer
+
+__all__ = [
+    "DriftConfig",
+    "DriftReport",
+    "DriftDetector",
+    "psi",
+    "ks_statistic",
+    "psi_noise_allowance",
+    "ks_noise_allowance",
+]
+
+#: smoothing mass added to empty histogram bins so the PSI log ratio
+#: stays finite; the conventional small-epsilon choice.
+_PSI_EPSILON = 1e-4
+
+
+def _proportions(counts: np.ndarray) -> np.ndarray:
+    counts = counts.astype(float) + _PSI_EPSILON
+    return counts / counts.sum()
+
+
+def psi(reference: np.ndarray, window: np.ndarray, bins: int = 10) -> float:
+    """Population stability index between two 1-D samples.
+
+    Bin edges are deterministic reference quantiles.  A zero-variance
+    reference column falls back to a two-bin "equals the constant vs.
+    deviates" histogram, so identical windows score 0 and a constant
+    that *moved* scores high instead of NaN.
+    """
+    reference = np.asarray(reference, dtype=float).ravel()
+    window = np.asarray(window, dtype=float).ravel()
+    if len(reference) == 0 or len(window) == 0:
+        return 0.0
+    lo, hi = float(reference.min()), float(reference.max())
+    if hi - lo <= 0.0:
+        ref_counts = np.array([len(reference), 0.0])
+        win_equal = np.isclose(window, lo).sum()
+        win_counts = np.array([win_equal, len(window) - win_equal])
+    else:
+        quantiles = np.linspace(0.0, 1.0, bins + 1)
+        edges = np.unique(np.quantile(reference, quantiles))
+        if len(edges) < 3:
+            # Discrete column (e.g. a binary feature): quantile edges
+            # collapse.  Bin on the value midpoints instead, so a rate
+            # shift between the discrete levels stays visible.
+            values = np.unique(reference)
+            if len(values) > max(bins, 16):
+                values = np.unique(np.array([lo, float(np.median(reference)), hi]))
+            edges = np.concatenate(
+                [[-np.inf], (values[:-1] + values[1:]) / 2.0, [np.inf]]
+            )
+        else:
+            # Open the outer edges so window mass outside the reference
+            # support still lands in the extreme bins.
+            edges[0], edges[-1] = -np.inf, np.inf
+        ref_counts, _ = np.histogram(reference, bins=edges)
+        win_counts, _ = np.histogram(window, bins=edges)
+    ref_p = _proportions(np.asarray(ref_counts))
+    win_p = _proportions(np.asarray(win_counts))
+    return float(np.sum((win_p - ref_p) * np.log(win_p / ref_p)))
+
+
+def ks_statistic(reference: np.ndarray, window: np.ndarray) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic (max ECDF distance)."""
+    reference = np.sort(np.asarray(reference, dtype=float).ravel())
+    window = np.sort(np.asarray(window, dtype=float).ravel())
+    if len(reference) == 0 or len(window) == 0:
+        return 0.0
+    grid = np.concatenate([reference, window])
+    cdf_ref = np.searchsorted(reference, grid, side="right") / len(reference)
+    cdf_win = np.searchsorted(window, grid, side="right") / len(window)
+    return float(np.max(np.abs(cdf_ref - cdf_win)))
+
+
+def psi_noise_allowance(n_reference: int, n_window: int, bins: int) -> float:
+    """Expected PSI of two same-distribution samples, tripled.
+
+    Under the null, PSI behaves like a chi-square-flavoured statistic
+    with mean ``(bins - 1) * (1/n_window + 1/n_reference)``; three times
+    that mean keeps same-distribution windows below the decision line
+    even at the small window sizes an epoch study uses.
+    """
+    if n_reference < 1 or n_window < 1:
+        return 0.0
+    return 3.0 * (bins - 1) * (1.0 / n_window + 1.0 / n_reference)
+
+
+def ks_noise_allowance(n_reference: int, n_window: int) -> float:
+    """The α≈0.05 two-sample KS critical distance for these sizes."""
+    if n_reference < 1 or n_window < 1:
+        return 0.0
+    return 1.36 * float(np.sqrt(1.0 / n_window + 1.0 / n_reference))
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Thresholds and window geometry for :class:`DriftDetector`.
+
+    The PSI/KS thresholds are *excess over sampling noise*: the
+    detector flags a column when its statistic reaches
+    ``threshold + noise_allowance(n_reference, n_window)`` (inclusive),
+    so the decision line adapts to window size instead of firing on the
+    chi-square noise floor of small windows.
+    """
+
+    #: samples per evaluation window (1 is legal)
+    window: int = 200
+    #: per-feature excess PSI at/above this flags the feature (0.2 is
+    #: the conventional "significant shift" rule of thumb)
+    psi_threshold: float = 0.2
+    #: per-feature excess KS distance at/above this flags the feature
+    ks_threshold: float = 0.15
+    #: how many flagged feature columns it takes to call the window
+    #: feature-drifted
+    min_drifted_features: int = 1
+    #: PSI over the margin distribution at/above this flags calibration
+    score_psi_threshold: float = 0.2
+    #: absolute shift in positive rate at/above this flags calibration
+    positive_rate_delta: float = 0.2
+    #: histogram bins for PSI
+    bins: int = 10
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """One evaluated window."""
+
+    t: float
+    n_samples: int
+    feature_psi: dict[str, float]
+    feature_ks: dict[str, float]
+    drifted_features: tuple[str, ...]
+    score_psi: float
+    reference_positive_rate: float
+    window_positive_rate: float
+    #: the two components of the verdict
+    feature_drift: bool
+    score_drift: bool
+
+    @property
+    def drifted(self) -> bool:
+        return self.feature_drift or self.score_drift
+
+    @property
+    def max_psi(self) -> float:
+        return max(self.feature_psi.values(), default=0.0)
+
+    def as_dict(self) -> dict:
+        """JSON-ready row for the drift-metrics JSONL export."""
+        return {
+            "t": self.t,
+            "n_samples": self.n_samples,
+            "feature_psi": {k: round(v, 6) for k, v in self.feature_psi.items()},
+            "feature_ks": {k: round(v, 6) for k, v in self.feature_ks.items()},
+            "drifted_features": list(self.drifted_features),
+            "score_psi": round(self.score_psi, 6),
+            "reference_positive_rate": round(self.reference_positive_rate, 6),
+            "window_positive_rate": round(self.window_positive_rate, 6),
+            "feature_drift": self.feature_drift,
+            "score_drift": self.score_drift,
+            "drifted": self.drifted,
+        }
+
+
+@dataclass
+class _Window:
+    rows: list[np.ndarray] = field(default_factory=list)
+    margins: list[float] = field(default_factory=list)
+
+
+class DriftDetector:
+    """Streams (feature row, margin) pairs and evaluates full windows.
+
+    The reference distribution is the training window of the current
+    champion model; :meth:`rebaseline` swaps it after a promotion so
+    the detector tracks the *deployed* model's world view.
+    """
+
+    def __init__(
+        self,
+        reference_matrix: np.ndarray,
+        reference_margins: np.ndarray,
+        feature_names: tuple[str, ...] | list[str],
+        config: DriftConfig | None = None,
+    ) -> None:
+        self._config = config or DriftConfig()
+        self._feature_names = tuple(feature_names)
+        self.rebaseline(reference_matrix, reference_margins)
+        self._pending = _Window()
+        self.reports: list[DriftReport] = []
+
+    @property
+    def config(self) -> DriftConfig:
+        return self._config
+
+    def rebaseline(
+        self, reference_matrix: np.ndarray, reference_margins: np.ndarray
+    ) -> None:
+        matrix = np.asarray(reference_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self._feature_names):
+            raise ValueError("reference matrix shape mismatch")
+        self._reference = matrix
+        self._reference_margins = np.asarray(
+            reference_margins, dtype=float
+        ).ravel()
+        self._reference_positive_rate = (
+            float((self._reference_margins >= 0.0).mean())
+            if len(self._reference_margins)
+            else 0.0
+        )
+
+    def update(
+        self, rows: np.ndarray, margins: np.ndarray, t: float
+    ) -> list[DriftReport]:
+        """Feed a batch of scored samples at simulated time ``t``.
+
+        Returns the reports of every window that *filled* during this
+        batch — a window is evaluated the moment its count reaches
+        exactly ``config.window``, so drift starting on a window edge
+        lands entirely in its own window.
+        """
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        margins = np.asarray(margins, dtype=float).ravel()
+        if len(rows) != len(margins):
+            raise ValueError("rows and margins length mismatch")
+        produced: list[DriftReport] = []
+        for row, margin in zip(rows, margins):
+            self._pending.rows.append(row)
+            self._pending.margins.append(float(margin))
+            if len(self._pending.rows) == self._config.window:
+                produced.append(self._evaluate(self._pending, t))
+                self._pending = _Window()
+        return produced
+
+    def flush(self, t: float) -> DriftReport | None:
+        """Evaluate a partial trailing window (end of an epoch)."""
+        if not self._pending.rows:
+            return None
+        report = self._evaluate(self._pending, t)
+        self._pending = _Window()
+        return report
+
+    def _evaluate(self, window: _Window, t: float) -> DriftReport:
+        cfg = self._config
+        matrix = np.vstack(window.rows)
+        margins = np.asarray(window.margins, dtype=float)
+        # Small windows get fewer bins: a 10-bin PSI over 50 samples has
+        # a sampling-noise floor near the drift threshold itself.
+        bins = max(2, min(cfg.bins, len(matrix) // 10))
+        n_ref, n_win = len(self._reference), len(matrix)
+        psi_line = cfg.psi_threshold + psi_noise_allowance(n_ref, n_win, bins)
+        ks_line = cfg.ks_threshold + ks_noise_allowance(n_ref, n_win)
+        feature_psi: dict[str, float] = {}
+        feature_ks: dict[str, float] = {}
+        drifted_features: list[str] = []
+        for col, name in enumerate(self._feature_names):
+            col_psi = psi(self._reference[:, col], matrix[:, col], bins)
+            col_ks = ks_statistic(self._reference[:, col], matrix[:, col])
+            feature_psi[name] = col_psi
+            feature_ks[name] = col_ks
+            if col_psi >= psi_line or col_ks >= ks_line:
+                drifted_features.append(name)
+        score_psi = psi(self._reference_margins, margins, bins)
+        positive_rate = float((margins >= 0.0).mean()) if len(margins) else 0.0
+        feature_drift = len(drifted_features) >= cfg.min_drifted_features
+        score_line = cfg.score_psi_threshold + psi_noise_allowance(
+            len(self._reference_margins), len(margins), bins
+        )
+        score_drift = (
+            score_psi >= score_line
+            or abs(positive_rate - self._reference_positive_rate)
+            >= cfg.positive_rate_delta
+        )
+        report = DriftReport(
+            t=float(t),
+            n_samples=len(matrix),
+            feature_psi=feature_psi,
+            feature_ks=feature_ks,
+            drifted_features=tuple(drifted_features),
+            score_psi=score_psi,
+            reference_positive_rate=self._reference_positive_rate,
+            window_positive_rate=positive_rate,
+            feature_drift=feature_drift,
+            score_drift=score_drift,
+        )
+        self.reports.append(report)
+        self._observe(report)
+        return report
+
+    def _observe(self, report: DriftReport) -> None:
+        obs = get_observer()
+        if not obs.enabled:
+            return
+        obs.event(
+            "drift.window",
+            t=report.t,
+            category="drift",
+            n_samples=report.n_samples,
+            drifted=report.drifted,
+            drifted_features=",".join(report.drifted_features),
+            score_psi=round(report.score_psi, 6),
+        )
+        obs.gauge("drift_max_psi", report.max_psi)
+        obs.gauge("drift_score_psi", report.score_psi)
+        obs.gauge("drift_window_positive_rate", report.window_positive_rate)
+        obs.observe(
+            "drift_psi",
+            report.max_psi,
+            edges=(0.05, 0.1, 0.2, 0.4, 0.8, 1.6),
+        )
+        obs.count("drift_windows_total")
+        if report.drifted:
+            obs.count("drift_flags_total")

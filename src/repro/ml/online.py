@@ -1,0 +1,171 @@
+"""Windowed, warm-started retraining for the drift response loop.
+
+The lifecycle's challenger models are retrained on a sliding window of
+recently labelled feature rows.  Two properties matter:
+
+* **warm start** — the previous champion's dual vector seeds the SMO
+  solve for the samples both windows share (new samples start at 0, and
+  the seed is projected back onto the feasible set); the QP is convex,
+  so the warm solve converges to the same decision function a cold
+  retrain would, just in fewer iterations, and
+* **determinism** — the window contents and the warm seed are pure
+  functions of the pushed batches, so the same epoch stream always
+  produces the same challenger.
+
+Rows are *already extracted* feature matrices, not records: each epoch
+extracts its own features with the knowledge the defender had at
+observation time, and the trainer never re-extracts history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.scaling import StandardScaler
+from repro.ml.svm import SVC
+
+__all__ = ["WindowModel", "SlidingWindowTrainer", "carry_alphas"]
+
+
+class WindowModel:
+    """Scaler + SVC over a feature matrix, warm-startable.
+
+    The matrix-level sibling of
+    :class:`~repro.core.frappe.FrappeClassifier`: same standardise-then-
+    RBF-SVM machine, but consuming pre-extracted feature rows so windows
+    can span epochs whose extractors differ.
+    """
+
+    def __init__(
+        self,
+        c: float = 1.0,
+        kernel: str = "rbf",
+        gamma: str | float = "auto",
+    ) -> None:
+        self._svm_params = {"c": c, "kernel": kernel, "gamma": gamma}
+        self._scaler: StandardScaler | None = None
+        self._svm: SVC | None = None
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        init_alphas: np.ndarray | None = None,
+    ) -> "WindowModel":
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y).astype(int)
+        self._scaler = StandardScaler().fit(x)
+        self._svm = SVC(**self._svm_params).fit(
+            self._scaler.transform(x), y, init_alphas=init_alphas
+        )
+        return self
+
+    @property
+    def svm(self) -> SVC:
+        if self._svm is None:
+            raise RuntimeError("model is not fitted")
+        return self._svm
+
+    @property
+    def alphas(self) -> np.ndarray | None:
+        return None if self._svm is None else self._svm.alphas_
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self._svm is None or self._scaler is None:
+            raise RuntimeError("model is not fitted")
+        return self._svm.decision_function(self._scaler.transform(x))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.decision_function(x) >= 0.0).astype(int)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        y = np.asarray(y).astype(int)
+        if len(y) == 0:
+            return 0.0
+        return float((self.predict(x) == y).mean())
+
+
+def carry_alphas(
+    previous_alphas: np.ndarray | None,
+    previous_lengths: list[int],
+    current_lengths: list[int],
+    carried_batches: int,
+) -> np.ndarray | None:
+    """Map a previous window's dual vector onto the new window's rows.
+
+    Both windows are concatenations of per-epoch batches; the new
+    window shares its first ``carried_batches`` batches with the *tail*
+    of the previous window.  Carried rows keep their alphas, fresh rows
+    start at 0.  Returns ``None`` when there is nothing to carry.
+    """
+    if previous_alphas is None or carried_batches <= 0:
+        return None
+    offset = sum(previous_lengths[:-carried_batches]) if carried_batches else 0
+    carried = previous_alphas[offset:]
+    n_new = sum(current_lengths)
+    if len(carried) > n_new:
+        return None
+    seed = np.zeros(n_new)
+    seed[: len(carried)] = carried
+    return seed
+
+
+class SlidingWindowTrainer:
+    """Keeps the last ``window_epochs`` labelled batches and retrains.
+
+    ``push`` appends one epoch's (matrix, labels); ``train`` fits a
+    fresh :class:`WindowModel` over the concatenated window, seeding
+    SMO with the previous fit's alphas for the carried batches.
+    """
+
+    def __init__(
+        self,
+        window_epochs: int = 3,
+        c: float = 1.0,
+        kernel: str = "rbf",
+        gamma: str | float = "auto",
+    ) -> None:
+        if window_epochs < 1:
+            raise ValueError("window_epochs must be >= 1")
+        self._window_epochs = int(window_epochs)
+        self._svm_params = {"c": c, "kernel": kernel, "gamma": gamma}
+        self._batches: list[tuple[np.ndarray, np.ndarray]] = []
+        self._last_alphas: np.ndarray | None = None
+        self._last_lengths: list[int] = []
+        self.last_warm_start: bool = False
+
+    def push(self, x: np.ndarray, y: np.ndarray) -> None:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y).astype(int).ravel()
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        self._batches.append((x, y))
+        if len(self._batches) > self._window_epochs:
+            self._batches = self._batches[-self._window_epochs:]
+
+    @property
+    def window_size(self) -> int:
+        return sum(len(y) for _, y in self._batches)
+
+    def window(self) -> tuple[np.ndarray, np.ndarray]:
+        if not self._batches:
+            raise RuntimeError("no batches pushed")
+        x = np.vstack([x for x, _ in self._batches])
+        y = np.concatenate([y for _, y in self._batches])
+        return x, y
+
+    def train(self) -> WindowModel:
+        x, y = self.window()
+        lengths = [len(batch_y) for _, batch_y in self._batches]
+        # The new window shares every batch except the newest with the
+        # previous window's tail (the previous train saw batches
+        # [.. k-1], this one sees [.. k]).
+        carried_batches = min(len(lengths) - 1, len(self._last_lengths))
+        seed = carry_alphas(
+            self._last_alphas, self._last_lengths, lengths, carried_batches
+        )
+        model = WindowModel(**self._svm_params).fit(x, y, init_alphas=seed)
+        self.last_warm_start = seed is not None
+        self._last_alphas = model.alphas
+        self._last_lengths = lengths
+        return model

@@ -16,7 +16,7 @@ import numpy as np
 from repro.ml.kernels import polynomial_kernel, rbf_kernel, linear_kernel
 from repro.obs.observer import get_observer
 
-__all__ = ["SVC"]
+__all__ = ["SVC", "project_feasible_alphas"]
 
 
 class SVC:
@@ -56,6 +56,10 @@ class SVC:
         self._bias: float = 0.0
         self._constant_label: int | None = None
         self.n_iterations_: int = 0
+        #: full dual vector aligned with the training rows (None before
+        #: fit and for the degenerate single-class case) — the handle a
+        #: warm-started retrain passes back in as ``init_alphas``.
+        self.alphas_: np.ndarray | None = None
 
     # -- kernel helpers -----------------------------------------------------
 
@@ -81,7 +85,21 @@ class SVC:
 
     # -- training ---------------------------------------------------------
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "SVC":
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        init_alphas: np.ndarray | None = None,
+        init_bias: float = 0.0,
+    ) -> "SVC":
+        """Fit by SMO; ``init_alphas`` warm-starts the dual solve.
+
+        ``init_alphas=None`` is the exact historical code path.  A
+        warm start seeds the solver with a previous model's dual vector
+        (aligned with the rows of ``x``; new samples get 0) — the
+        problem is a convex QP, so the optimum reached is the same one
+        a cold start converges to, just from a closer starting point.
+        """
         x = np.asarray(x, dtype=float)
         y = np.asarray(y).astype(int).ravel()
         if x.ndim != 2:
@@ -90,6 +108,8 @@ class SVC:
             raise ValueError("X and y length mismatch")
         if len(x) == 0:
             raise ValueError("cannot fit on zero samples")
+        if init_alphas is not None and len(init_alphas) != len(x):
+            raise ValueError("init_alphas length must match X")
         labels = np.unique(y)
         if not np.all(np.isin(labels, (0, 1))):
             raise ValueError("labels must be 0 or 1")
@@ -97,6 +117,7 @@ class SVC:
             # Degenerate single-class training set: predict the constant.
             self._constant_label = int(labels[0])
             self._support_x = None
+            self.alphas_ = None
             return self
         self._constant_label = None
         self._gamma_value = self._resolve_gamma(x)
@@ -114,9 +135,16 @@ class SVC:
         ) as span, obs.profile("train"):
             kernel_matrix = self._gram(x, x)
             alphas, bias, iterations = _smo(
-                kernel_matrix, signs, self.c, self.tol, self.max_passes
+                kernel_matrix,
+                signs,
+                self.c,
+                self.tol,
+                self.max_passes,
+                init_alphas=init_alphas,
+                init_bias=init_bias,
             )
             self.n_iterations_ = iterations
+            self.alphas_ = alphas
             support = alphas > 1e-12
             self._support_x = x[support]
             self._support_coef = (alphas * signs)[support]
@@ -156,6 +184,30 @@ class SVC:
         return (self.decision_function(x) >= 0.0).astype(int)
 
 
+def project_feasible_alphas(
+    init_alphas: np.ndarray, signs: np.ndarray, c: float
+) -> np.ndarray:
+    """Project a warm-start dual vector onto SMO's feasible set.
+
+    Every SMO step preserves ``sum(alpha_i * y_i)`` exactly, so a seed
+    that violates the equality constraint would confine the solver to
+    the wrong affine slice forever.  Clip to the box [0, C], then scale
+    down whichever class carries the excess mass until the constraint
+    holds — scaling down never leaves the box.
+    """
+    alphas = np.clip(np.asarray(init_alphas, dtype=float), 0.0, c)
+    gap = float(alphas @ signs)
+    if gap > 0.0:
+        positive = signs > 0
+        mass = float(alphas[positive].sum())
+        alphas[positive] *= 0.0 if mass <= gap else (mass - gap) / mass
+    elif gap < 0.0:
+        negative = signs < 0
+        mass = float(alphas[negative].sum())
+        alphas[negative] *= 0.0 if mass <= -gap else (mass + gap) / mass
+    return alphas
+
+
 def _smo(
     kernel_matrix: np.ndarray,
     signs: np.ndarray,
@@ -163,6 +215,8 @@ def _smo(
     tol: float,
     max_passes: int,
     row_cache: bool = True,
+    init_alphas: np.ndarray | None = None,
+    init_bias: float = 0.0,
 ) -> tuple[np.ndarray, float, int]:
     """Platt SMO over a precomputed Gram matrix.
 
@@ -185,13 +239,19 @@ def _smo(
       each) only ever recomputed a constant.
     """
     n = len(signs)
-    alphas = np.zeros(n)
-    bias = 0.0
-    # Error cache: E_i = f(x_i) - y_i; with alphas = 0, f = 0.
-    errors = -signs.copy()
     eps = 1e-12
-    # alphas * signs, maintained incrementally when row_cache is on.
-    coef = np.zeros(n)
+    if init_alphas is None:
+        alphas = np.zeros(n)
+        bias = 0.0
+        # Error cache: E_i = f(x_i) - y_i; with alphas = 0, f = 0.
+        errors = -signs.copy()
+        # alphas * signs, maintained incrementally when row_cache is on.
+        coef = np.zeros(n)
+    else:
+        alphas = project_feasible_alphas(init_alphas, signs, c)
+        bias = float(init_bias)
+        coef = alphas * signs
+        errors = kernel_matrix @ coef + bias - signs
     roll_cache: dict[tuple[int, int], int] = {}
 
     def take_step(i1: int, i2: int) -> bool:

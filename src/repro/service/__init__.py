@@ -18,6 +18,14 @@ from repro.service.loadgen import (
     estimate_capacity_rps,
     generate_requests,
 )
+from repro.service.rollout import (
+    CanaryStats,
+    ModelRegistry,
+    ModelVersion,
+    RolloutConfig,
+    RolloutController,
+    RolloutIncident,
+)
 from repro.service.service import ServiceReport, VerdictService, make_service
 from repro.service.types import (
     BULK,
@@ -45,6 +53,12 @@ __all__ = [
     "LoadProfile",
     "estimate_capacity_rps",
     "generate_requests",
+    "ModelRegistry",
+    "ModelVersion",
+    "RolloutConfig",
+    "RolloutController",
+    "RolloutIncident",
+    "CanaryStats",
     "ServiceReport",
     "VerdictService",
     "make_service",

@@ -48,6 +48,9 @@ class CacheEntry:
     stored_s: float = 0.0
     #: authoritative PERMANENT removal (negative entry, longer TTL)
     negative: bool = False
+    #: model version that produced the verdict (0 = the static model);
+    #: part of the lookup key when the service runs under a rollout
+    model_version: int = 0
 
     def age_s(self, now_s: float) -> float:
         return max(0.0, now_s - self.stored_s)
@@ -75,6 +78,8 @@ class VerdictCache:
         self.hits_fresh = 0
         self.hits_stale = 0
         self.misses = 0
+        #: entries dropped because they were scored by a retired model
+        self.version_evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -96,9 +101,26 @@ class VerdictCache:
             return STALE
         return EXPIRED
 
-    def lookup(self, app_id: str, now_s: float) -> tuple[str, CacheEntry | None]:
-        """(state, entry) for *app_id*; counts the hit/miss."""
+    def lookup(
+        self,
+        app_id: str,
+        now_s: float,
+        model_version: int | None = None,
+    ) -> tuple[str, CacheEntry | None]:
+        """(state, entry) for *app_id*; counts the hit/miss.
+
+        When *model_version* is given, an entry produced by any other
+        model version is a miss *and* is evicted on the spot: after a
+        promotion or rollback the next request re-scores under the
+        current champion rather than serving a stale-model verdict.
+        """
         entry = self._entries.get(app_id)
+        if entry is not None and (
+            model_version is not None and entry.model_version != model_version
+        ):
+            self.evict(app_id)
+            self.version_evictions += 1
+            entry = None
         if entry is None:
             self.misses += 1
             return MISS, None
@@ -131,6 +153,25 @@ class VerdictCache:
     def evict(self, app_id: str) -> None:
         self._entries.pop(app_id, None)
         self._revalidating.discard(app_id)
+
+    def retain_version(self, model_version: int) -> int:
+        """Flush every entry not scored by *model_version*.
+
+        Called on promotion and on rollback.  Negative entries are
+        flushed too: a PERMANENT removal is model-independent evidence,
+        but its cached *verdict* was still rendered by the old model, and
+        a rollback must never serve anything the bad model touched.
+        Returns the number of entries flushed.
+        """
+        stale = [
+            app_id
+            for app_id, entry in self._entries.items()
+            if entry.model_version != model_version
+        ]
+        for app_id in stale:
+            self.evict(app_id)
+        self.version_evictions += len(stale)
+        return len(stale)
 
     # -- revalidation bookkeeping -----------------------------------------
 
@@ -166,5 +207,6 @@ class VerdictCache:
             "hits_fresh": self.hits_fresh,
             "hits_stale": self.hits_stale,
             "misses": self.misses,
+            "version_evictions": self.version_evictions,
             "hit_rate": self.hit_rate(),
         }

@@ -54,6 +54,7 @@ from repro.platform.transport import TransportStats
 from repro.service.admission import AdmissionQueue
 from repro.service.bulkhead import Bulkhead
 from repro.service.cache import FRESH, MISS, STALE, CacheEntry, VerdictCache
+from repro.service.rollout import RolloutController
 from repro.service.types import (
     DEADLINE,
     INTERACTIVE,
@@ -101,6 +102,8 @@ class ServiceReport:
     elapsed_s: float = 0.0
     idle_s: float = 0.0
     transport: dict[str, Any] = field(default_factory=dict)
+    #: rollout state machine snapshot (empty when no rollout attached)
+    rollout: dict[str, Any] = field(default_factory=dict)
 
     # -- derived views -----------------------------------------------------
 
@@ -112,6 +115,26 @@ class ServiceReport:
             response.rung for response in self.responses
             if response.outcome == SERVED
         )
+
+    def version_outcome_counts(self) -> dict[int, Counter[str]]:
+        """Per-model-version outcome tallies (the lifecycle audit view)."""
+        counts: dict[int, Counter[str]] = {}
+        for response in self.responses:
+            counts.setdefault(response.model_version, Counter())[
+                response.outcome
+            ] += 1
+        return counts
+
+    def version_rung_counts(self) -> dict[int, Counter[str]]:
+        """Per-model-version rung tallies over served responses."""
+        counts: dict[int, Counter[str]] = {}
+        for response in self.responses:
+            if response.outcome != SERVED:
+                continue
+            counts.setdefault(response.model_version, Counter())[
+                response.rung
+            ] += 1
+        return counts
 
     def shed_rate(self, priority: str) -> float:
         offered = self.offered.get(priority, 0)
@@ -171,6 +194,29 @@ class ServiceReport:
             f"({self.idle_s:.0f}s idle), "
             f"throughput {self.throughput_rps() * 3600:.0f} served/h",
         ]
+        # Only surface the model-version breakdown when a rollout was
+        # live: a rollout-free run's summary stays byte-identical.
+        versions = self.version_outcome_counts()
+        if any(version != 0 for version in versions):
+            rungs = self.version_rung_counts()
+            for version in sorted(versions):
+                outcome = versions[version]
+                rung_note = ", ".join(
+                    f"{r}={n}" for r, n in sorted(rungs.get(version, {}).items())
+                ) or "-"
+                lines.append(
+                    f"model v{version}:    "
+                    f"served={outcome.get(SERVED, 0)} "
+                    f"overloaded={outcome.get(OVERLOADED, 0)} "
+                    f"deadline={outcome.get(DEADLINE, 0)}; rungs {rung_note}"
+                )
+            if self.rollout:
+                lines.append(
+                    f"rollout:     champion=v{self.rollout.get('champion', 0)} "
+                    f"canary=v{self.rollout.get('canary', 0)} "
+                    f"promotions={self.rollout.get('promotions', 0)} "
+                    f"rollbacks={self.rollout.get('rollbacks', 0)}"
+                )
         return "\n".join(lines)
 
 
@@ -184,9 +230,13 @@ class VerdictService:
         extractor: FeatureExtractor,
         config: ServiceConfig | None = None,
         crawler: AppCrawler | None = None,
+        rollout: RolloutController | None = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self._cascade = cascade
+        #: champion–challenger controller; None = static model (v0),
+        #: every rollout branch below is a strict no-op
+        self.rollout = rollout
         self._extractor = extractor
         self._crawler = crawler or AppCrawler(world)
         # Service breakers are tuned separately from the batch crawl's.
@@ -215,6 +265,11 @@ class VerdictService:
         self._report = ServiceReport(queue_bound=self.config.max_queue_depth)
 
     # -- clock -------------------------------------------------------------
+
+    @property
+    def cascade(self) -> FrappeCascade:
+        """The static cascade (champion payload when a rollout attaches)."""
+        return self._cascade
 
     @property
     def stats(self) -> TransportStats:
@@ -307,6 +362,8 @@ class VerdictService:
         report.cache_hits_stale = self.cache.hits_stale
         report.cache_misses = self.cache.misses
         report.transport = self.stats.snapshot()
+        if self.rollout is not None:
+            report.rollout = self.rollout.snapshot()
         obs = get_observer()
         if obs.enabled:
             # The three uniform snapshot() components, folded into gauges.
@@ -412,7 +469,12 @@ class VerdictService:
         self, request: ScoreRequest, started: float
     ) -> tuple[VerdictResponse | None, str]:
         """Cache-served response, or the cache state a live crawl records."""
-        state, entry = self.cache.lookup(request.app_id, started)
+        version = (
+            self.rollout.champion.version if self.rollout is not None else None
+        )
+        state, entry = self.cache.lookup(
+            request.app_id, started, model_version=version
+        )
         obs = get_observer()
         if obs.enabled:
             obs.event(
@@ -521,21 +583,42 @@ class VerdictService:
         if live:
             self.stats.add_service(self.config.score_cost_s)
             with obs.profile("score"):
-                scored = self._cascade.score_batch(records)
+                if self.rollout is None:
+                    scored = [
+                        (prediction, margin, tier, 0, None)
+                        for prediction, margin, tier
+                        in self._cascade.score_batch(records)
+                    ]
+                else:
+                    # Under a rollout the batch splits across models;
+                    # score record-by-record with each request's
+                    # assigned model (the tick still pays one
+                    # score_cost_s, charged above).
+                    scored = []
+                    for (index, _, _), record in zip(live, records):
+                        cascade, version, shadow = self._select_model(
+                            staged[index][0]
+                        )
+                        prediction, margin, tier = cascade.score_record(record)
+                        scored.append((prediction, margin, tier, version, shadow))
             if obs.enabled:
                 obs.sim_cost("score", self.config.score_cost_s)
                 obs.observe("serve_batch_live", float(len(live)))
-            for (index, started, cache_state), record, (prediction, _, tier) in zip(
-                live, records, scored
-            ):
+            for (
+                (index, started, cache_state),
+                record,
+                (prediction, _, tier, version, shadow),
+            ) in zip(live, records, scored):
                 request = staged[index][0]
                 if cache_state is None:
                     response = self._finish_refresh(
-                        request, started, record, prediction, tier
+                        request, started, record, prediction, tier,
+                        version=version,
                     )
                 else:
                     response = self._respond_live(
-                        request, started, cache_state, record, prediction, tier
+                        request, started, cache_state, record, prediction,
+                        tier, version=version, shadow=shadow,
                     )
                 staged[index] = (request, response)
         results: list[tuple[ScoreRequest, VerdictResponse]] = []
@@ -614,6 +697,7 @@ class VerdictService:
             arrival_s=request.arrival_s,
             started_s=started,
             finished_s=self.now_s,
+            model_version=entry.model_version,
         )
 
     # -- live scoring --------------------------------------------------------
@@ -626,13 +710,50 @@ class VerdictService:
             strict_deadline=True,
         )
 
+    def _select_model(self, request: ScoreRequest) -> tuple[Any, int, Any]:
+        """(cascade, version, shadow) scoring this request.
+
+        Without a rollout: the static cascade, version 0, no shadow.
+        Under a rollout, client requests hash-split between champion and
+        canary; when the canary draws the request, the champion comes
+        along as *shadow* for the health gate's disagreement measure.
+        Internal refreshes always use the champion — background cache
+        work is not part of the canary experiment.
+        """
+        if self.rollout is None:
+            return self._cascade, 0, None
+        champion = self.rollout.champion.version
+        if request.internal:
+            return self.rollout.model_for(champion), champion, None
+        version = self.rollout.assign(request.app_id)
+        if version == champion:
+            return self.rollout.model_for(version), version, None
+        return (
+            self.rollout.model_for(version),
+            version,
+            self.rollout.model_for(champion),
+        )
+
+    def _account_canary(
+        self, prediction: int, shadow: Any, record: CrawlRecord
+    ) -> None:
+        """Feed one canary verdict (+ champion shadow) to the health gate."""
+        assert self.rollout is not None
+        shadow_prediction, _, _ = shadow.score_record(record)
+        transition = self.rollout.record_canary(
+            bool(prediction), bool(shadow_prediction), t=self.now_s
+        )
+        if transition != "canary" and self.rollout.consume_flush():
+            self.cache.retain_version(self.rollout.champion.version)
+
     def _crawl_and_score(
         self, request: ScoreRequest
-    ) -> tuple[CrawlRecord, int, float, str]:
+    ) -> tuple[CrawlRecord, int, float, str, int, Any]:
         record = self._crawl_request(request)
         self.stats.add_service(self.config.score_cost_s)
-        prediction, margin, tier = self._cascade.score_record(record)
-        return record, prediction, margin, tier
+        cascade, version, shadow = self._select_model(request)
+        prediction, margin, tier = cascade.score_record(record)
+        return record, prediction, margin, tier, version, shadow
 
     @staticmethod
     def _crawl_effort(record: CrawlRecord) -> tuple[int, int]:
@@ -648,9 +769,12 @@ class VerdictService:
     def _score_live(
         self, request: ScoreRequest, started: float, cache_state: str
     ) -> VerdictResponse:
-        record, prediction, margin, tier = self._crawl_and_score(request)
+        record, prediction, margin, tier, version, shadow = (
+            self._crawl_and_score(request)
+        )
         return self._respond_live(
-            request, started, cache_state, record, prediction, tier
+            request, started, cache_state, record, prediction, tier,
+            version=version, shadow=shadow,
         )
 
     def _respond_live(
@@ -661,19 +785,28 @@ class VerdictService:
         record: CrawlRecord,
         prediction: int,
         tier: str,
+        version: int = 0,
+        shadow: Any = None,
     ) -> VerdictResponse:
         attempts, faults = self._crawl_effort(record)
         if tier in _TIER_RUNG:
+            if shadow is not None:
+                self._account_canary(prediction, shadow, record)
             assessment = self._watchdog.assess_record(record)
-            entry = CacheEntry(
-                app_id=request.app_id,
-                verdict=bool(prediction),
-                risk_score=assessment.risk_score,
-                confidence=assessment.confidence,
-                rung=_TIER_RUNG[tier],
-                advisories=list(assessment.advisories),
-            )
-            self._store(record, entry)
+            if shadow is None:
+                # Only champion verdicts are cached: a canary on
+                # probation must never leave verdicts behind that a
+                # rollback would then serve.
+                entry = CacheEntry(
+                    app_id=request.app_id,
+                    verdict=bool(prediction),
+                    risk_score=assessment.risk_score,
+                    confidence=assessment.confidence,
+                    rung=_TIER_RUNG[tier],
+                    advisories=list(assessment.advisories),
+                    model_version=version,
+                )
+                self._store(record, entry)
             return VerdictResponse(
                 app_id=request.app_id,
                 outcome=SERVED,
@@ -691,6 +824,7 @@ class VerdictService:
                 attempts=attempts,
                 faults=faults,
                 record=record,
+                model_version=version,
             )
         # The live crawl cannot support even FRAppE Lite: fall back to
         # any cached verdict (however old), then a summary-only
@@ -718,6 +852,7 @@ class VerdictService:
                 attempts=attempts,
                 faults=faults,
                 record=record,
+                model_version=resort.model_version,
             )
         if tier == "summary_only":
             assessment = self._watchdog.assess_record(record)
@@ -739,6 +874,7 @@ class VerdictService:
                 attempts=attempts,
                 faults=faults,
                 record=record,
+                model_version=version,
             )
         return VerdictResponse(
             app_id=request.app_id,
@@ -757,12 +893,17 @@ class VerdictService:
             attempts=attempts,
             faults=faults,
             record=record,
+            model_version=version,
         )
 
     def _refresh(self, request: ScoreRequest, started: float) -> VerdictResponse:
         """Background revalidation of a stale entry (no client waiting)."""
-        record, prediction, margin, tier = self._crawl_and_score(request)
-        return self._finish_refresh(request, started, record, prediction, tier)
+        record, prediction, margin, tier, version, _ = (
+            self._crawl_and_score(request)
+        )
+        return self._finish_refresh(
+            request, started, record, prediction, tier, version=version
+        )
 
     def _finish_refresh(
         self,
@@ -771,6 +912,7 @@ class VerdictService:
         record: CrawlRecord,
         prediction: int,
         tier: str,
+        version: int = 0,
     ) -> VerdictResponse:
         attempts, faults = self._crawl_effort(record)
         if tier in _TIER_RUNG:
@@ -782,6 +924,7 @@ class VerdictService:
                 confidence=assessment.confidence,
                 rung=_TIER_RUNG[tier],
                 advisories=list(assessment.advisories),
+                model_version=version,
             )
             self._store(record, entry)
             self._report.refreshes_done += 1
@@ -802,6 +945,7 @@ class VerdictService:
             attempts=attempts,
             faults=faults,
             record=record,
+            model_version=version,
         )
 
     @staticmethod
@@ -820,6 +964,7 @@ class VerdictService:
 def make_service(
     result,
     config: ServiceConfig | None = None,
+    rollout: RolloutController | None = None,
 ) -> VerdictService:
     """Build a :class:`VerdictService` from a pipeline result.
 
@@ -850,4 +995,5 @@ def make_service(
         result.extractor,
         config=config,
         crawler=crawler,
+        rollout=rollout,
     )

@@ -168,6 +168,9 @@ class VerdictResponse:
     #: how many requests the serving tick drained together (1 when the
     #: service runs unbatched; all responses of one batch share a value)
     batch_size: int = 1
+    #: model version that rendered the verdict (0 = the static model,
+    #: i.e. no rollout controller attached; >= 1 under a rollout)
+    model_version: int = 0
     #: the record the live crawl produced (None for cache hits and shed
     #: requests) — kept so equivalence against the batch classifier is
     #: checkable on exactly the evidence the service saw

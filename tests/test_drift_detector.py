@@ -1,0 +1,211 @@
+"""Boundary behaviour of the windowed drift detector.
+
+These tests pin the decision rule promised in ``repro.ml.drift``'s
+module docstring: a window *is* drifted when its statistic reaches the
+decision line exactly (``>=``), a window is evaluated the moment it is
+exactly full, zero-variance columns compare as two-bin histograms
+instead of NaN, and single-sample windows are legal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.drift import (
+    DriftConfig,
+    DriftDetector,
+    ks_noise_allowance,
+    ks_statistic,
+    psi,
+    psi_noise_allowance,
+)
+
+FEATURES = ("f0", "f1")
+
+
+def make_detector(config=None, n_ref=200, seed=0):
+    rng = np.random.default_rng(seed)
+    reference = rng.normal(size=(n_ref, len(FEATURES)))
+    margins = rng.normal(loc=-0.5, size=n_ref)  # mostly benign
+    detector = DriftDetector(reference, margins, FEATURES, config)
+    return detector, reference, margins
+
+
+# -- the statistics themselves -------------------------------------------
+
+
+def test_psi_identical_samples_is_zero():
+    rng = np.random.default_rng(1)
+    sample = rng.normal(size=500)
+    assert psi(sample, sample) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_psi_shifted_sample_is_large():
+    rng = np.random.default_rng(2)
+    reference = rng.normal(size=500)
+    assert psi(reference, reference + 3.0) > 1.0
+
+
+def test_psi_zero_variance_reference_identical_window():
+    """A constant column that stayed put scores 0, not NaN."""
+    constant = np.full(100, 7.0)
+    # Not exactly 0: the epsilon smoothing leaves a sub-1e-5 residue
+    # when the window and reference sizes differ.
+    assert psi(constant, constant[:30]) == pytest.approx(0.0, abs=1e-4)
+
+
+def test_psi_zero_variance_reference_moved_constant():
+    """A constant column that *moved* scores high, not NaN."""
+    value = psi(np.full(100, 7.0), np.full(30, 8.0))
+    assert np.isfinite(value)
+    assert value > 1.0
+
+
+def test_psi_binary_column_rate_shift_is_visible():
+    """Discrete columns must not collapse into a single quantile bin."""
+    reference = np.array([0.0] * 90 + [1.0] * 10)
+    window = np.array([0.0] * 10 + [1.0] * 90)
+    assert psi(reference, window) > 0.5
+
+
+def test_ks_statistic_bounds_and_extremes():
+    same = np.arange(50, dtype=float)
+    assert ks_statistic(same, same) == pytest.approx(0.0)
+    assert ks_statistic(same, same + 1000.0) == pytest.approx(1.0)
+    assert ks_statistic(np.zeros(0), same) == 0.0
+
+
+def test_noise_allowances_shrink_with_sample_size():
+    assert psi_noise_allowance(50, 50, 8) > psi_noise_allowance(5000, 5000, 8)
+    assert ks_noise_allowance(50, 50) > ks_noise_allowance(5000, 5000)
+    assert psi_noise_allowance(0, 50, 8) == 0.0
+    assert ks_noise_allowance(50, 0) == 0.0
+
+
+# -- config validation ---------------------------------------------------
+
+
+def test_window_must_be_positive():
+    with pytest.raises(ValueError):
+        DriftConfig(window=0)
+
+
+def test_reference_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        DriftDetector(np.zeros((10, 3)), np.zeros(10), FEATURES)
+
+
+# -- windowing edges -----------------------------------------------------
+
+
+def test_window_evaluates_the_moment_it_is_exactly_full():
+    detector, reference, margins = make_detector(DriftConfig(window=4))
+    assert detector.update(reference[:3], margins[:3], t=1.0) == []
+    produced = detector.update(reference[3:4], margins[3:4], t=2.0)
+    assert len(produced) == 1
+    assert produced[0].n_samples == 4
+    assert produced[0].t == 2.0
+
+
+def test_drift_starting_exactly_on_a_window_edge():
+    """Pre-edge samples fill window 1, drifted samples fill window 2 —
+    the drift must not bleed backwards into the clean window."""
+    detector, reference, margins = make_detector(DriftConfig(window=4))
+    clean = reference[:4]
+    drifted = reference[4:8] + 10.0
+    rows = np.vstack([clean, drifted])
+    row_margins = np.concatenate([margins[:4], margins[4:8] + 10.0])
+    first, second = detector.update(rows, row_margins, t=5.0)
+    assert not first.feature_drift
+    assert second.feature_drift
+    assert set(second.drifted_features) == set(FEATURES)
+
+
+def test_single_sample_windows_are_legal():
+    detector, reference, margins = make_detector(DriftConfig(window=1))
+    reports = detector.update(reference[:3], margins[:3], t=1.0)
+    assert len(reports) == 3
+    assert all(report.n_samples == 1 for report in reports)
+    # A one-point ECDF far outside the reference support is definite.
+    (outlier,) = detector.update(
+        np.array([[50.0, 50.0]]), np.array([5.0]), t=2.0
+    )
+    assert outlier.feature_drift
+
+
+def test_all_identical_window_never_drifts_against_itself():
+    """Zero-variance windows over a zero-variance reference: silence."""
+    constant = np.full((60, len(FEATURES)), 3.0)
+    margins = np.full(60, -1.0)
+    detector = DriftDetector(constant, margins, FEATURES, DriftConfig(window=20))
+    reports = detector.update(constant[:40], margins[:40], t=1.0)
+    assert len(reports) == 2
+    assert not any(report.drifted for report in reports)
+
+
+def test_all_identical_window_that_moved_drifts():
+    constant = np.full((60, len(FEATURES)), 3.0)
+    margins = np.full(60, -1.0)
+    detector = DriftDetector(constant, margins, FEATURES, DriftConfig(window=20))
+    (report,) = detector.update(
+        np.full((20, len(FEATURES)), 4.0), np.full(20, -1.0), t=1.0
+    )
+    assert report.feature_drift
+    assert set(report.drifted_features) == set(FEATURES)
+
+
+def test_flush_evaluates_partial_window_and_empties():
+    detector, reference, margins = make_detector(DriftConfig(window=100))
+    detector.update(reference[:7], margins[:7], t=1.0)
+    report = detector.flush(t=2.0)
+    assert report is not None and report.n_samples == 7
+    assert detector.flush(t=3.0) is None
+
+
+# -- the inclusive decision line -----------------------------------------
+
+
+def test_positive_rate_shift_at_threshold_exactly_is_drift():
+    """The calibration gate is inclusive: delta == threshold flags."""
+    # score_psi_threshold is parked out of reach so the verdict is
+    # attributable to the positive-rate gate alone.
+    config = DriftConfig(
+        window=4, positive_rate_delta=0.5, score_psi_threshold=100.0
+    )
+    reference = np.zeros((40, len(FEATURES)))
+    margins = np.full(40, -1.0)  # reference positive rate 0.0
+    detector = DriftDetector(reference, margins, FEATURES, config)
+    # Window positive rate exactly 0.5: |0.5 - 0.0| >= 0.5 must flag.
+    (report,) = detector.update(
+        reference[:4], np.array([1.0, 1.0, -1.0, -1.0]), t=1.0
+    )
+    assert report.window_positive_rate == pytest.approx(0.5)
+    assert report.score_drift and report.drifted
+
+
+def test_positive_rate_shift_below_threshold_is_silence():
+    config = DriftConfig(
+        window=4, positive_rate_delta=0.5, score_psi_threshold=100.0
+    )
+    reference = np.zeros((40, len(FEATURES)))
+    margins = np.full(40, -1.0)
+    detector = DriftDetector(reference, margins, FEATURES, config)
+    (report,) = detector.update(
+        reference[:4], np.array([1.0, -1.0, -1.0, -1.0]), t=1.0
+    )
+    assert report.window_positive_rate == pytest.approx(0.25)
+    assert not report.drifted
+
+
+# -- rebaseline ----------------------------------------------------------
+
+
+def test_rebaseline_absorbs_the_new_normal():
+    detector, reference, margins = make_detector(DriftConfig(window=10))
+    shifted = reference[:10] + 10.0
+    (before,) = detector.update(shifted, margins[:10], t=1.0)
+    assert before.feature_drift
+    detector.rebaseline(reference + 10.0, margins)
+    (after,) = detector.update(shifted, margins[:10], t=2.0)
+    assert not after.feature_drift

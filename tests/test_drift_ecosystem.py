@@ -1,0 +1,176 @@
+"""The adversarial-drift ecosystem: identity at drift 0, change above.
+
+The contract every drifting campaign honours (see
+``repro.ecosystem.campaigns.DriftingCampaign``): at ``drift=0`` the
+built population is byte-identical to a plain :class:`HackerCampaign`
+on the same RNG stream, and the epoch generator is a pure function of
+``(plan.seed, epoch)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ecosystem.campaigns import (
+    DRIFTING_ARCHETYPES,
+    CampaignPlan,
+    HackerCampaign,
+)
+from repro.ecosystem.drift import DriftPlan, EpochGenerator
+from repro.ecosystem.params import GenerationParams
+from repro.rng import RngRegistry, derive_seed
+
+PLAN = DriftPlan(seed=99, n_epochs=4, drift_rate=0.5, apps_per_epoch=60)
+
+
+def build_campaign(cls, drift=None, seed=1234, n_apps=14):
+    """One campaign in its own tiny world; returns its built apps."""
+    rngs = RngRegistry(seed)
+    services = EpochGenerator(PLAN)._build_services(rngs)
+    plan = CampaignPlan(
+        campaign_id="c-test", n_apps=n_apps, colluding=True, n_sites=1
+    )
+    kwargs = {} if drift is None else {"drift": drift}
+    campaign = cls(
+        plan,
+        services,
+        GenerationParams(),
+        rngs.stream("campaign"),
+        scale=0.02,
+        crawl_months=3,
+        **kwargs,
+    )
+    campaign.build()
+    return campaign
+
+
+def app_image(campaign):
+    return [
+        (
+            app.app_id,
+            app.name,
+            app.description,
+            app.company,
+            app.category,
+            app.permissions,
+            app.redirect_uri,
+            app.client_id_pool,
+            app.truth_malicious,
+            len(app.profile_feed),
+        )
+        for app in campaign.apps
+    ]
+
+
+@pytest.mark.parametrize("archetype", sorted(DRIFTING_ARCHETYPES))
+def test_drift_zero_is_byte_identical_to_the_base_campaign(archetype):
+    """drift=0 consumes the exact RNG sequence of a plain campaign."""
+    cls = DRIFTING_ARCHETYPES[archetype]
+    base = build_campaign(HackerCampaign)
+    drifting = build_campaign(cls, drift=0.0)
+    assert app_image(drifting) == app_image(base)
+    assert drifting.loud_app_ids == base.loud_app_ids
+    np.testing.assert_array_equal(
+        drifting.post_weights(), base.post_weights()
+    )
+
+
+@pytest.mark.parametrize("archetype", sorted(DRIFTING_ARCHETYPES))
+def test_full_drift_changes_the_population(archetype):
+    """Something observable moves at drift=1 — app fields for the
+    identity-rotating archetypes, posting behaviour for the like farm
+    (whose adaptation is going quiet, not changing registrations)."""
+    cls = DRIFTING_ARCHETYPES[archetype]
+    undrifted = build_campaign(cls, drift=0.0)
+    drifted = build_campaign(cls, drift=1.0)
+    behaviour = lambda c: (  # noqa: E731
+        app_image(c), sorted(c.loud_app_ids), c.post_weights().tolist()
+    )
+    assert behaviour(drifted) != behaviour(undrifted)
+
+
+def test_drift_clamps_to_unit_interval():
+    campaign = build_campaign(
+        DRIFTING_ARCHETYPES["mimicry"], drift=7.5
+    )
+    assert campaign.drift == 1.0
+
+
+def test_full_mimicry_adopts_the_benign_playbook():
+    campaign = build_campaign(DRIFTING_ARCHETYPES["mimicry"], drift=1.0)
+    ordinary = [
+        app
+        for app in campaign.apps
+        if app.app_id not in campaign.professional_app_ids
+    ]
+    assert ordinary
+    assert all(app.category == "Games" for app in ordinary)
+    assert all(app.description and app.company for app in ordinary)
+    assert all(app.profile_feed for app in ordinary)
+
+
+def test_full_profile_ring_drops_the_forensic_tells():
+    campaign = build_campaign(
+        DRIFTING_ARCHETYPES["profile_ring"], drift=1.0
+    )
+    assert all(not app.client_id_pool for app in campaign.apps)
+
+
+def test_full_like_farm_goes_quiet():
+    loud = build_campaign(DRIFTING_ARCHETYPES["like_farm"], drift=0.0)
+    quiet = build_campaign(DRIFTING_ARCHETYPES["like_farm"], drift=1.0)
+    assert not quiet.loud_app_ids
+    assert quiet.post_weights().sum() < loud.post_weights().sum()
+
+
+# -- the epoch generator -------------------------------------------------
+
+
+def epoch_image(epoch_data):
+    return (
+        [repr(record.__dict__) for record in epoch_data.records],
+        epoch_data.labels.tolist(),
+        epoch_data.labeled_mask.tolist(),
+    )
+
+
+def test_epochs_are_pure_functions_of_seed_and_index():
+    generator = EpochGenerator(PLAN)
+    again = EpochGenerator(DriftPlan(**{**PLAN.__dict__}))
+    assert epoch_image(generator.epoch(2)) == epoch_image(again.epoch(2))
+
+
+def test_epoch_zero_is_drift_free_at_every_rate():
+    """intensity(0) == 0, so epoch 0 never depends on the drift rate."""
+    fast = DriftPlan(seed=PLAN.seed, n_epochs=4, drift_rate=1.0,
+                     apps_per_epoch=PLAN.apps_per_epoch)
+    assert PLAN.intensity(0) == 0.0 == fast.intensity(0)
+    assert epoch_image(EpochGenerator(PLAN).epoch(0)) == epoch_image(
+        EpochGenerator(fast).epoch(0)
+    )
+
+
+def test_epoch_intensity_schedule():
+    plan = DriftPlan(drift_rate=0.4)
+    assert plan.intensity(1) == pytest.approx(0.4)
+    assert plan.intensity(2) == pytest.approx(0.8)
+    assert plan.intensity(5) == 1.0  # saturates
+    assert plan.day_of(3) == 3 * plan.epoch_days
+
+
+def test_epoch_cohort_shape_and_labels():
+    epoch = EpochGenerator(PLAN).epoch(1)
+    assert epoch.n_apps >= PLAN.apps_per_epoch * 0.9
+    assert len(epoch.labels) == epoch.n_apps
+    assert 0 < epoch.labels.sum() < epoch.n_apps  # both classes present
+    records, labels = epoch.labeled()
+    assert len(records) == int(epoch.labeled_mask.sum()) == len(labels)
+    # Records synthesised outside the crawler are authoritative.
+    assert all(record.summary_ok for record in epoch.records)
+
+
+def test_derive_seed_keys_epochs_independently():
+    assert derive_seed(PLAN.seed, "drift-epoch-0001") != derive_seed(
+        PLAN.seed, "drift-epoch-0002"
+    )

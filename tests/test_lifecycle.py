@@ -1,0 +1,133 @@
+"""The drift lifecycle end to end: degrade, detect, retrain, roll back.
+
+Small trajectories (few epochs, ~100 apps each) keep these fast; the
+assertions are about the loop's *shape* — a frozen model degrades under
+drift while the online loop recovers, a clean trajectory stays quiet,
+and an injected broken canary is rolled back with the incident on the
+record — not about exact accuracy values.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.lifecycle import (
+    LifecycleConfig,
+    run_drift_sweep,
+    run_lifecycle,
+    write_drift_metrics,
+)
+from repro.ecosystem.drift import DriftPlan
+
+SEED = 2012
+EPOCHS = 5
+APPS = 120
+
+
+def plan(drift_rate):
+    return DriftPlan(
+        seed=SEED, n_epochs=EPOCHS, drift_rate=drift_rate,
+        apps_per_epoch=APPS,
+    )
+
+
+def test_clean_trajectory_stays_quiet():
+    result = run_lifecycle(plan(0.0))
+    assert len(result.outcomes) == EPOCHS
+    assert not result.incidents
+    assert not result.promotions
+    assert result.detection_accuracy() == pytest.approx(1.0)
+    assert all(not outcome.drift_flagged for outcome in result.outcomes)
+    assert all(
+        outcome.champion_version == 1 for outcome in result.outcomes
+    )
+    # No drift and no retrain: the static and online model are the same
+    # weights, differing only through the operator's name knowledge.
+    assert result.mean_accuracy("static") > 0.9
+
+
+def test_drifted_trajectory_degrades_static_and_recovers_online():
+    result = run_lifecycle(plan(0.5))
+    first, last = result.outcomes[1], result.outcomes[-1]
+    # The frozen model measurably degrades as the campaigns adapt...
+    assert last.static_accuracy < first.static_accuracy
+    # ...the detector notices...
+    assert any(outcome.drift_flagged for outcome in result.outcomes)
+    assert result.detection_accuracy() >= 0.6
+    # ...and the online loop retrains and promotes its way back above.
+    assert result.promotions
+    assert result.outcomes[-1].champion_version > 1
+    assert last.online_accuracy > last.static_accuracy
+    assert result.mean_accuracy("online") >= result.mean_accuracy("static")
+
+
+def test_lifecycle_is_deterministic():
+    first = run_lifecycle(plan(0.5))
+    second = run_lifecycle(plan(0.5))
+    assert [o.as_dict() for o in first.outcomes] == [
+        o.as_dict() for o in second.outcomes
+    ]
+    assert [r.as_dict() for r in first.drift_reports] == [
+        r.as_dict() for r in second.drift_reports
+    ]
+
+
+def test_injected_bad_canary_is_rolled_back():
+    config = LifecycleConfig(inject_bad_canary_epoch=2)
+    result = run_lifecycle(plan(0.0), config)
+    (incident,) = result.incidents
+    assert incident.restored_version == 1
+    assert "disagreement" in incident.reason
+    # The champion is restored and stays restored.
+    assert result.outcomes[-1].champion_version == 1
+    assert not result.promotions
+    # The transition is on the epoch record.
+    assert any(
+        outcome.transition == "rolled_back" for outcome in result.outcomes
+    )
+
+
+def test_reference_intensity_tracks_promotions():
+    """Ground truth for the drift flag moves only when a promotion
+    absorbs the drift into a new reference window."""
+    result = run_lifecycle(plan(0.5))
+    references = [o.reference_intensity for o in result.outcomes]
+    assert references[0] == 0.0
+    assert references == sorted(references)  # never rewinds
+    if result.promotions:
+        assert references[-1] > 0.0
+
+
+def test_sweep_table_and_metrics_export(tmp_path):
+    sweep = run_drift_sweep([0.0, 0.5], plan=plan(0.0))
+    assert [row.drift_rate for row in sweep.rows] == [0.0, 0.5]
+    table = sweep.table()
+    assert table.splitlines()[0].startswith("drift_rate")
+    assert len(table.splitlines()) == 3
+
+    clean, drifted = sweep.rows
+    assert clean.rollbacks == 0 and clean.promotions == 0
+    assert drifted.static_accuracy < clean.static_accuracy
+    assert drifted.online_accuracy >= drifted.static_accuracy
+
+    out = tmp_path / "drift-metrics.jsonl"
+    n = write_drift_metrics(out, sweep)
+    lines = out.read_text().splitlines()
+    assert len(lines) == n
+    kinds = {json.loads(line)["kind"] for line in lines}
+    assert kinds == {"epoch", "window", "summary"}
+    summaries = [
+        json.loads(line)
+        for line in lines
+        if json.loads(line)["kind"] == "summary"
+    ]
+    assert [s["drift_rate"] for s in summaries] == [0.0, 0.5]
+
+
+def test_lifecycle_config_validation():
+    with pytest.raises(ValueError):
+        LifecycleConfig(retrain_on="never")
+    with pytest.raises(ValueError):
+        LifecycleConfig(holdout_fraction=1.0)
