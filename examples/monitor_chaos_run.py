@@ -1,0 +1,161 @@
+"""Monitor chaos: SIGKILL an epoch worker mid-epoch, lose no history.
+
+The watchdog FRAppE's conclusion calls for never gets to stop: it
+re-crawls suspicious apps for months, through platform outages and its
+own process deaths.  This example runs the same three-epoch monitoring
+campaign twice over an identical simulated world at a 20% transport
+fault rate with a sustained blackout window pinned across the first
+epoch:
+
+* **reference** — uninterrupted, inline epochs;
+* **chaos** — supervised epochs with ``REPRO_MONITOR_CHAOS=kill:3``
+  exported, so each epoch's first worker SIGKILLs itself right after
+  its third durable observation.  The supervisor restarts it from the
+  monitor journal and the epoch finishes where it left off.
+
+Both runs must produce a **byte-identical** history store, exported
+dataset, and recrawl-scheduler state.  The chaos run is traced; the
+monitor journals and the trace land in an artifacts directory so CI
+can upload them.
+
+Run:    python examples/monitor_chaos_run.py
+Output: $REPRO_MONITOR_ARTIFACTS (default ./monitor-artifacts)
+Exits nonzero if chaos did not fire or any byte differs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.config import ScaleConfig
+from repro.crawler.crawler import make_crawler
+from repro.crawler.datasets import DatasetBuilder
+from repro.crawler.monitor import (
+    MONITOR_CHAOS_ENV,
+    AppMonitor,
+    MonitorConfig,
+    MonitorJournal,
+    SupervisedEpochRunner,
+)
+from repro.ecosystem.simulation import run_simulation
+from repro.mypagekeeper.classifier import UrlClassifier
+from repro.mypagekeeper.monitor import MyPageKeeper
+from repro.obs import TracingObserver, observation
+
+SCALE = 0.01
+SEED = 2012
+FAULT_RATE = 0.2
+EPOCHS = 3
+KILL_AFTER = 3  # observations a worker survives before its SIGKILL
+#: one sustained outage the first epoch is guaranteed to crawl into:
+#: long enough that a crawl entering it (burning its retry budget on
+#: blackout faults) still ends inside, so the next dispatch poll sees
+#: the window and pauses instead of crawling into the outage
+BLACKOUT_WINDOW = (850.0, 5000.0)
+
+
+def artifacts_dir() -> Path:
+    root = Path(os.environ.get("REPRO_MONITOR_ARTIFACTS", "monitor-artifacts"))
+    root.mkdir(parents=True, exist_ok=True)
+    return root
+
+
+def fresh_monitor(journal_dir: Path) -> AppMonitor:
+    """An identical world, sample, and monitor for each run."""
+    world = run_simulation(ScaleConfig(
+        scale=SCALE, master_seed=SEED, fault_rate=FAULT_RATE, blackouts=1,
+    ))
+    report = MyPageKeeper(
+        UrlClassifier(world.services.blacklist), world.post_log
+    ).scan()
+    sample = sorted(DatasetBuilder(world, report).build(crawl=False).d_sample)
+    crawler = make_crawler(world)
+    crawler.transport.plan = dataclasses.replace(
+        crawler.transport.plan, blackout_windows=(BLACKOUT_WINDOW,)
+    )
+    return AppMonitor(
+        world,
+        crawler,
+        sample,
+        config=MonitorConfig(
+            epochs=EPOCHS, stride_days=7, forensics=True, lifecycle=True
+        ),
+        journal=MonitorJournal(journal_dir),
+    )
+
+
+def main() -> int:
+    root = artifacts_dir()
+
+    print(f"Monitoring run 1/2: {EPOCHS} inline epochs, uninterrupted "
+          f"(scale {SCALE}, fault rate {FAULT_RATE:.0%}, one blackout) ...")
+    monitor = fresh_monitor(root / "reference")
+    reference_report = monitor.run()
+    reference_history = monitor.export_history_bytes()
+    reference_dataset = monitor.export_dataset_bytes()
+    reference_schedule = monitor.scheduler.snapshot()
+    monitor.journal.close()
+
+    print(f"Monitoring run 2/2: supervised epochs, "
+          f"{MONITOR_CHAOS_ENV}=kill:{KILL_AFTER} — each epoch's first "
+          "worker is SIGKILLed after its third observation ...")
+    os.environ[MONITOR_CHAOS_ENV] = f"kill:{KILL_AFTER}"
+    try:
+        monitor = fresh_monitor(root / "chaos")
+        runner = SupervisedEpochRunner(monitor)  # chaos comes from the env
+        observer = TracingObserver()
+        with observation(observer):
+            for epoch in range(EPOCHS):
+                runner.run_epoch(epoch)
+    finally:
+        del os.environ[MONITOR_CHAOS_ENV]
+    chaos_report = monitor.report()
+    chaos_history = monitor.export_history_bytes()
+    chaos_dataset = monitor.export_dataset_bytes()
+    chaos_schedule = monitor.scheduler.snapshot()
+    monitor.journal.close()
+    trace = observer.tracer.export(root / "monitor-trace.jsonl")
+
+    kinds: dict[str, int] = {}
+    for event in chaos_report.forensic_events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    print(f"\nworker restarts     {runner.restarts} (injected SIGKILL)")
+    print(f"inline fallbacks    {runner.inline_fallbacks}")
+    print(f"observations        {chaos_report.observations} durable "
+          f"across {EPOCHS} epochs")
+    print(f"backpressure pauses {chaos_report.pauses}")
+    print(f"forensic events     {json.dumps(kinds, sort_keys=True)}")
+    print(f"tier census         "
+          f"{json.dumps(chaos_report.tier_census, sort_keys=True)}")
+    print(f"monitor trace       {trace}")
+
+    failures = []
+    if runner.restarts < 1:
+        failures.append("chaos did not fire (no worker was restarted)")
+    if chaos_report.pauses < 1:
+        failures.append("the blackout window never paused the scheduler")
+    if chaos_history != reference_history:
+        failures.append("history stores differ")
+    if chaos_dataset != reference_dataset:
+        failures.append("exported datasets differ")
+    if chaos_schedule != reference_schedule:
+        failures.append("recrawl scheduler states differ")
+    if chaos_report.observations != reference_report.observations:
+        failures.append("observation counts differ")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"\nhistory identical   {len(reference_history)} bytes, "
+          "chaos == reference")
+    print(f"dataset identical   {len(reference_dataset)} bytes")
+    print("schedule identical  supervised run converged to the same tiers")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

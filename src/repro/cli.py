@@ -10,6 +10,9 @@ Commands
 ``drift``        sweep campaign drift rates through the model lifecycle:
                  detection accuracy, static-vs-online accuracy, and
                  champion–challenger promotions/rollbacks per rate
+``monitor``      run the continuous monitoring daemon: epoch-driven
+                 recrawls through the tiered scheduler, forensic event
+                 detection, and a durable, resumable history store
 ``forensics``    run the Sec 6 AppNet investigation
 ``bench``        perf-regression harness: time every fast path against
                  its kept-alive naive reference, write ``BENCH_<n>.json``,
@@ -66,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--retry-budget", type=int, default=4,
         help="crawl attempts per request before giving up (default 4)",
+    )
+    parser.add_argument(
+        "--blackouts", type=int, default=0,
+        help="seeded sustained platform outages (multi-call blackout "
+             "windows) injected over the crawl horizon (default 0)",
     )
     parser.add_argument(
         "--checkpoint", metavar="DIR", default=None,
@@ -242,6 +250,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed fractional drop per gated ratio (default 0.2)",
     )
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="continuous monitoring daemon: epoch-driven recrawls, "
+             "forensic event detection, durable per-app history",
+    )
+    monitor.add_argument(
+        "--epochs", type=int, default=3,
+        help="monitoring epochs to run (default 3)",
+    )
+    monitor.add_argument(
+        "--stride-days", type=int, default=7,
+        help="simulated days between epochs (default 7)",
+    )
+    monitor.add_argument(
+        "--forensics", action="store_true",
+        help="diff each observation against history and record forensic "
+             "events (deletion, rename, permission change, post-rate "
+             "collapse)",
+    )
+    monitor.add_argument(
+        "--lifecycle", action="store_true",
+        help="apply the scripted app-lifecycle events (the simulated "
+             "ground truth the forensic detectors should find)",
+    )
+    monitor.add_argument(
+        "--policy", choices=("tiered", "active-learning"), default="tiered",
+        help="recrawl policy: strict tier ladder, or the ladder plus an "
+             "exploration budget of most-uncertain apps (default tiered)",
+    )
+    monitor.add_argument(
+        "--supervised", action="store_true",
+        help="run each epoch in a forked, heartbeat-watched worker with "
+             "restart-and-fallback supervision",
+    )
+    monitor.add_argument(
+        "--fault-rate", type=float, default=argparse.SUPPRESS,
+        help="override the global --fault-rate",
+    )
+    monitor.add_argument(
+        "--blackouts", type=int, default=argparse.SUPPRESS,
+        help="override the global --blackouts",
+    )
+    monitor.add_argument(
+        "--checkpoint", metavar="DIR", default=argparse.SUPPRESS,
+        help="override the global --checkpoint (the history store DIR)",
+    )
+    monitor.add_argument(
+        "--resume", action="store_true", default=argparse.SUPPRESS,
+        help="override the global --resume",
+    )
+
     export = sub.add_parser("export", help="export D-Sample to JSON")
     export.add_argument("output", help="output path (.json)")
 
@@ -274,6 +333,7 @@ def _config(args: argparse.Namespace) -> ScaleConfig:
         master_seed=args.seed,
         fault_rate=args.fault_rate,
         retry_budget=args.retry_budget,
+        blackouts=args.blackouts,
         checkpoint_dir=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
@@ -541,6 +601,92 @@ def _cmd_forensics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """Run the continuous monitoring daemon over D-Sample.
+
+    With ``--checkpoint DIR`` every observation and epoch plan is a
+    checksummed, fsynced journal line: kill the daemon anywhere and a
+    ``--resume`` run continues to a byte-identical history store.
+    ``--blackouts`` adds sustained platform outages the tier scheduler
+    must pause through instead of burning retry budgets.
+    """
+    from repro.crawler.crawler import make_crawler
+    from repro.crawler.datasets import DatasetBuilder
+    from repro.crawler.monitor import AppMonitor, MonitorConfig, MonitorJournal
+    from repro.crawler.recrawl import ActiveLearningPolicy, RecrawlScheduler
+    from repro.ecosystem.simulation import run_simulation
+    from repro.mypagekeeper.classifier import UrlClassifier
+    from repro.mypagekeeper.monitor import MyPageKeeper
+
+    config = _config(args)
+    world = run_simulation(config)
+    report = MyPageKeeper(
+        UrlClassifier(world.services.blacklist), world.post_log
+    ).scan()
+    bundle = DatasetBuilder(world, report).build(crawl=False)
+    crawler = make_crawler(world)
+    journal = None
+    if config.checkpoint_dir:
+        journal = MonitorJournal(config.checkpoint_dir, resume=config.resume)
+        print(
+            f"history:    {config.checkpoint_dir} "
+            f"({len(journal.entries)} durable entries"
+            + (f", {journal.quarantined} quarantined" if journal.quarantined
+               else "") + ")",
+            file=sys.stderr,
+        )
+    if args.policy == "active-learning":
+        scheduler = RecrawlScheduler(policy=ActiveLearningPolicy())
+    else:
+        scheduler = RecrawlScheduler()
+    monitor = AppMonitor(
+        world,
+        crawler,
+        bundle.d_sample,
+        config=MonitorConfig(
+            epochs=args.epochs,
+            stride_days=args.stride_days,
+            forensics=args.forensics,
+            lifecycle=args.lifecycle,
+        ),
+        scheduler=scheduler,
+        journal=journal,
+    )
+    try:
+        result = monitor.run(supervised=args.supervised)
+    finally:
+        if journal is not None:
+            journal.close()
+    stats = crawler.stats
+    print(f"monitored {len(bundle.d_sample)} apps for "
+          f"{result.epochs_run} epochs (stride {args.stride_days}d, "
+          f"policy {args.policy}, fault_rate={config.fault_rate}, "
+          f"blackouts={config.blackouts})")
+    print(f"history:    {result.observations} durable observations"
+          + (f", {result.quarantined} quarantined" if result.quarantined
+             else ""))
+    census = ", ".join(
+        f"{tier}={n}" for tier, n in result.tier_census.items() if n
+    )
+    print(f"tiers:      {census or 'none'}")
+    if result.pauses:
+        print(f"backpressure: {result.pauses} blackout pauses "
+              f"(tiers re-planned instead of retrying into the outage)")
+    if result.forensic_events:
+        kinds: dict[str, int] = {}
+        for event in result.forensic_events:
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        mix = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+        print(f"forensics:  {len(result.forensic_events)} events ({mix})")
+        for event in result.forensic_events[:8]:
+            print(f"  e{event.epoch} {event.app_id}: {event.kind} "
+                  f"({event.detail})")
+    print(f"crawl time: {stats.elapsed_s / 3600:.1f} simulated hours "
+          f"({stats.service_s / 3600:.1f}h service, "
+          f"{stats.wait_s / 3600:.1f}h waiting)")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the perf-regression harness (see :mod:`repro.bench`)."""
     from repro.bench import main as bench_main
@@ -580,6 +726,7 @@ _COMMANDS = {
     "crawl": _cmd_crawl,
     "serve": _cmd_serve,
     "drift": _cmd_drift,
+    "monitor": _cmd_monitor,
     "forensics": _cmd_forensics,
     "bench": _cmd_bench,
     "export": _cmd_export,

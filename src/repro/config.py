@@ -201,6 +201,11 @@ class ScaleConfig:
     fault_rate: float = 0.0
     #: crawl attempts per request before the crawler gives up
     retry_budget: int = 4
+    #: seeded sustained-outage windows injected by the transport
+    #: (0 = none; see :func:`repro.platform.transport.draw_blackout_windows`).
+    #: Orthogonal to ``fault_rate``: blackouts fail *every* request in
+    #: their window, per-call faults are independent coin flips.
+    blackouts: int = 0
     #: directory for the crash-safe crawl checkpoint (write-ahead journal
     #: + atomic snapshots); ``None`` disables checkpointing entirely and
     #: the pipeline behaves bit-identically to a journal-less run
@@ -229,6 +234,10 @@ class ScaleConfig:
         if self.retry_budget < 1:
             raise ValueError(
                 f"retry_budget must be >= 1, got {self.retry_budget}"
+            )
+        if self.blackouts < 0:
+            raise ValueError(
+                f"blackouts must be >= 0, got {self.blackouts}"
             )
         if self.checkpoint_every < 1:
             raise ValueError(

@@ -31,6 +31,7 @@ from repro.core.features import (
 )
 from repro.core.frappe import FrappeCascade, FrappeClassifier
 from repro.crawler.crawler import AppCrawler, CrawlRecord
+from repro.obs.observer import get_observer
 
 __all__ = ["AppAssessment", "AppWatchdog"]
 
@@ -166,6 +167,16 @@ class AppWatchdog:
 
     def assess_record(self, record: CrawlRecord, day: int = 0) -> AppAssessment:
         """Assess an already crawled record (no caching)."""
+        obs = get_observer()
+        span_cm = span = None
+        if obs.enabled:
+            span_cm = obs.span(
+                "watchdog.assess",
+                key=record.app_id,
+                category="watchdog",
+                t=self._crawler.stats.elapsed_s,
+            )
+            span = span_cm.__enter__()
         margin, tier = self._margin_and_tier(record)
         # Deleted apps have no crawlable summary; fall back to the name
         # observed in post metadata (how the paper knows dead apps' names).
@@ -181,6 +192,20 @@ class AppWatchdog:
             assessment.advisories = self._advisories(record, tier)
         for collection in record.degraded_collections:
             assessment.advisories.append(_DEGRADED_NOTES[collection])
+        if span_cm is not None:
+            span.note(
+                tier=tier,
+                risk=round(assessment.risk_score, 3),
+                confidence=assessment.confidence,
+            )
+            span.end(self._crawler.stats.elapsed_s)
+            span_cm.__exit__(None, None, None)
+            obs.count("watchdog_assessments_total", confidence=assessment.confidence)
+            obs.observe(
+                "watchdog_risk_score",
+                assessment.risk_score,
+                edges=(10.0, 25.0, 50.0, 75.0, 90.0),
+            )
         return assessment
 
     # -- the service surface -------------------------------------------------
@@ -195,11 +220,50 @@ class AppWatchdog:
         rather than silently served as-is or replaced by a score
         computed from zeros.
         """
+        obs = get_observer()
         cached = self._cache.get(app_id)
-        if cached is not None and day - cached.assessed_day <= self.max_staleness_days:
-            return cached
+        if cached is not None:
+            staleness = day - cached.assessed_day
+            if staleness <= self.max_staleness_days:
+                if obs.enabled:
+                    obs.count("watchdog_cache_hits_total")
+                    obs.observe(
+                        "watchdog_staleness_days",
+                        float(staleness),
+                        edges=(1.0, 3.0, 7.0, 14.0, 30.0),
+                    )
+                return cached
+            if obs.enabled:
+                obs.event(
+                    "watchdog.stale",
+                    t=self._crawler.stats.elapsed_s,
+                    category="watchdog",
+                    app_id=app_id,
+                    staleness_days=staleness,
+                )
+                obs.observe(
+                    "watchdog_staleness_days",
+                    float(staleness),
+                    edges=(1.0, 3.0, 7.0, 14.0, 30.0),
+                )
+        span_cm = None
+        if obs.enabled:
+            span_cm = obs.span(
+                "watchdog.recrawl",
+                key=app_id,
+                category="watchdog",
+                t=self._crawler.stats.elapsed_s,
+            )
+            span = span_cm.__enter__()
+            obs.count("watchdog_recrawls_total")
         record = self._crawler.crawl_app(app_id)
+        if span_cm is not None:
+            span.note(degraded=record.degraded)
+            span.end(self._crawler.stats.elapsed_s)
+            span_cm.__exit__(None, None, None)
         if cached is not None and classification_tier(record) == "none":
+            if obs.enabled:
+                obs.count("watchdog_stale_degradations_total")
             degraded = AppAssessment(
                 app_id=cached.app_id,
                 name=cached.name,

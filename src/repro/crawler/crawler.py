@@ -44,6 +44,7 @@ from repro.platform.transport import (
     FaultPlan,
     FaultyTransport,
     TransportStats,
+    draw_blackout_windows,
 )
 from repro.rng import derive_seed
 
@@ -401,6 +402,12 @@ class AppCrawler:
                 "fault_rate": plan.fault_rate,
                 "seed": plan.seed,
             }
+            if plan.blackout_windows:
+                # Lists, not tuples: the stored fingerprint round-trips
+                # through JSON and must compare equal afterwards.
+                fingerprint["fault_plan"]["blackout_windows"] = [
+                    [start, end] for start, end in plan.blackout_windows
+                ]
         return fingerprint
 
     # -- individual collections ------------------------------------------
@@ -521,11 +528,15 @@ def make_crawler(world: "SimulatedWorld") -> AppCrawler:
     """
     config = world.config
     policy = RetryPolicy(max_attempts=config.retry_budget)
-    if config.fault_rate <= 0.0:
+    blackouts = getattr(config, "blackouts", 0)
+    if config.fault_rate <= 0.0 and not blackouts:
         return AppCrawler(world, retry_policy=policy)
     plan = FaultPlan(
         fault_rate=config.fault_rate,
         seed=derive_seed(config.master_seed, "fault-plan"),
+        blackout_windows=draw_blackout_windows(
+            derive_seed(config.master_seed, "blackout-plan"), blackouts
+        ),
     )
     transport = FaultyTransport(world.graph_api, world.installer, plan)
     return AppCrawler(world, transport=transport, retry_policy=policy)

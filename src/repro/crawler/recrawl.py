@@ -1,0 +1,270 @@
+"""Tiered recrawl scheduling for the continuous monitor.
+
+FB-Monitor-style tiered recheck schedules: every monitored app sits on
+a rung of a :class:`TierLadder`, and its rung decides how often the
+monitor re-crawls it.  The tier is a pure function of the app's latest
+suspicion score, its age (epochs since last observation), and its
+forensic activity — so the schedule is deterministic and replayable
+from journaled state alone.
+
+The *policy* deciding which due apps an epoch actually crawls is
+pluggable (:class:`RecrawlPolicy`), mirroring ReckDetector's
+``input_policy`` hook: :class:`TieredPolicy` crawls exactly the due
+set, :class:`ActiveLearningPolicy` additionally spends a small budget
+on the most *uncertain* apps (suspicion nearest the decision boundary)
+even when their tier says wait — uncertainty sampling, the classic
+active-learning exploration move.
+
+Scheduler state round-trips losslessly through ``snapshot()`` /
+``restore()`` so the monitor journal can carry it alongside the crawler
+state, preserving the kill-anywhere resume contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+__all__ = [
+    "TIERS",
+    "TierLadder",
+    "ScheduleEntry",
+    "RecrawlPolicy",
+    "TieredPolicy",
+    "ActiveLearningPolicy",
+    "RecrawlScheduler",
+]
+
+#: rungs, hottest first; the index is the priority order within an epoch
+TIERS = ("hot", "warm", "cold", "dormant")
+
+#: recrawl every N epochs, per rung
+DEFAULT_INTERVALS = {"hot": 1, "warm": 2, "cold": 4, "dormant": 8}
+
+
+@dataclass(frozen=True)
+class TierLadder:
+    """tier = f(suspicion, age, forensic activity), deterministically.
+
+    Suspicion uses the watchdog's calibrated [0, 100] risk scale
+    (50 = decision boundary).  Any forensic activity forces ``hot`` —
+    an app that just got deleted, renamed, or re-permissioned is
+    exactly the app the paper's forensics chapter wants watched.  Age
+    promotes one rung once an app has gone unobserved for twice its
+    rung's interval, so nothing starves forever on ``dormant``.
+    """
+
+    hot_suspicion: float = 75.0
+    warm_suspicion: float = 50.0
+    cold_suspicion: float = 25.0
+
+    def interval(self, tier: str) -> int:
+        return DEFAULT_INTERVALS[tier]
+
+    def classify(
+        self, suspicion: float, age_epochs: int, forensic_hits: int
+    ) -> str:
+        if forensic_hits > 0 or suspicion >= self.hot_suspicion:
+            tier = "hot"
+        elif suspicion >= self.warm_suspicion:
+            tier = "warm"
+        elif suspicion >= self.cold_suspicion:
+            tier = "cold"
+        else:
+            tier = "dormant"
+        if tier != "hot" and age_epochs >= 2 * self.interval(tier):
+            tier = TIERS[TIERS.index(tier) - 1]
+        return tier
+
+
+@dataclass
+class ScheduleEntry:
+    """One monitored app's place on the ladder."""
+
+    app_id: str
+    tier: str = "warm"
+    #: epoch of the last completed observation (-1 = never observed)
+    last_epoch: int = -1
+    suspicion: float = 50.0
+    forensic_hits: int = 0
+
+    def jsonable(self) -> dict:
+        return {
+            "app_id": self.app_id,
+            "tier": self.tier,
+            "last_epoch": self.last_epoch,
+            "suspicion": self.suspicion,
+            "forensic_hits": self.forensic_hits,
+        }
+
+    @classmethod
+    def from_jsonable(cls, data: dict) -> "ScheduleEntry":
+        return cls(
+            app_id=str(data["app_id"]),
+            tier=str(data["tier"]),
+            last_epoch=int(data["last_epoch"]),
+            suspicion=float(data["suspicion"]),
+            forensic_hits=int(data["forensic_hits"]),
+        )
+
+    def due(self, epoch: int, ladder: TierLadder) -> bool:
+        if self.last_epoch < 0:
+            return True  # never observed: always due
+        return epoch - self.last_epoch >= ladder.interval(self.tier)
+
+
+class RecrawlPolicy(Protocol):
+    """The pluggable which-apps-this-epoch hook (``input_policy`` shape)."""
+
+    name: str
+
+    def plan(
+        self,
+        entries: dict[str, ScheduleEntry],
+        epoch: int,
+        ladder: TierLadder,
+    ) -> list[str]:
+        """App IDs to crawl this epoch, in dispatch order."""
+        ...  # pragma: no cover - protocol
+
+
+def _priority_order(entries: list[ScheduleEntry]) -> list[str]:
+    """Hot tiers first, canonical app-ID order within a tier."""
+    return [
+        e.app_id
+        for e in sorted(
+            entries, key=lambda e: (TIERS.index(e.tier), e.app_id)
+        )
+    ]
+
+
+@dataclass(frozen=True)
+class TieredPolicy:
+    """Crawl exactly the due set, hot tiers first."""
+
+    name: str = "tiered"
+
+    def plan(
+        self,
+        entries: dict[str, ScheduleEntry],
+        epoch: int,
+        ladder: TierLadder,
+    ) -> list[str]:
+        due = [e for e in entries.values() if e.due(epoch, ladder)]
+        return _priority_order(due)
+
+
+@dataclass(frozen=True)
+class ActiveLearningPolicy:
+    """The due set plus a budget of boundary-uncertain extras.
+
+    The extras are the not-yet-due apps whose suspicion sits closest to
+    the decision boundary (score 50): the apps a label would teach the
+    classifier the most about.  Never-observed apps are excluded from
+    the uncertainty pool — they are already in the due set.
+    """
+
+    exploration_budget: int = 4
+    name: str = "active-learning"
+
+    def plan(
+        self,
+        entries: dict[str, ScheduleEntry],
+        epoch: int,
+        ladder: TierLadder,
+    ) -> list[str]:
+        due = [e for e in entries.values() if e.due(epoch, ladder)]
+        planned = _priority_order(due)
+        if self.exploration_budget <= 0:
+            return planned
+        chosen = set(planned)
+        pool = [
+            e for e in entries.values()
+            if e.app_id not in chosen and e.last_epoch >= 0
+        ]
+        pool.sort(key=lambda e: (abs(e.suspicion - 50.0), e.app_id))
+        return planned + [
+            e.app_id for e in pool[: self.exploration_budget]
+        ]
+
+
+@dataclass
+class RecrawlScheduler:
+    """The monitor's schedule: ladder + entries + backpressure bookkeeping.
+
+    Everything mutable round-trips through :meth:`snapshot` /
+    :meth:`restore`; ``plan(epoch)`` recomputed from restored state is
+    self-healing, because an observed app's ``last_epoch`` equals the
+    current epoch and it simply stops being due.
+    """
+
+    ladder: TierLadder = field(default_factory=TierLadder)
+    policy: RecrawlPolicy = field(default_factory=TieredPolicy)
+    entries: dict[str, ScheduleEntry] = field(default_factory=dict)
+    #: blackout-backpressure bookkeeping (counts pauses, not retries)
+    pauses: int = 0
+    paused_until_s: float = 0.0
+
+    def ensure(self, app_ids) -> None:
+        """Register any *app_ids* not yet on the ladder."""
+        for app_id in sorted(app_ids):
+            if app_id not in self.entries:
+                self.entries[app_id] = ScheduleEntry(app_id=app_id)
+
+    def plan(self, epoch: int) -> list[str]:
+        """This epoch's dispatch list under the configured policy."""
+        return self.policy.plan(self.entries, epoch, self.ladder)
+
+    def observe(
+        self,
+        app_id: str,
+        epoch: int,
+        suspicion: float,
+        forensic_hits: int = 0,
+    ) -> ScheduleEntry:
+        """Fold one completed observation into the ladder."""
+        entry = self.entries.get(app_id)
+        if entry is None:
+            entry = ScheduleEntry(app_id=app_id)
+            self.entries[app_id] = entry
+        entry.last_epoch = epoch
+        entry.suspicion = float(suspicion)
+        entry.forensic_hits += int(forensic_hits)
+        entry.tier = self.ladder.classify(
+            entry.suspicion, age_epochs=0, forensic_hits=forensic_hits
+        )
+        return entry
+
+    def record_pause(self, resume_at_s: float) -> None:
+        """Account one scheduler-level blackout pause."""
+        self.pauses += 1
+        self.paused_until_s = max(self.paused_until_s, float(resume_at_s))
+
+    def tier_census(self) -> dict[str, int]:
+        census = {tier: 0 for tier in TIERS}
+        for entry in self.entries.values():
+            census[entry.tier] += 1
+        return census
+
+    # -- checkpoint support -------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serialisable state (entries in canonical app-ID order)."""
+        return {
+            "policy": getattr(self.policy, "name", "tiered"),
+            "pauses": self.pauses,
+            "paused_until_s": self.paused_until_s,
+            "entries": [
+                self.entries[app_id].jsonable()
+                for app_id in sorted(self.entries)
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` image in place (policy stays)."""
+        self.pauses = int(state.get("pauses", 0))
+        self.paused_until_s = float(state.get("paused_until_s", 0.0))
+        self.entries = {
+            str(e["app_id"]): ScheduleEntry.from_jsonable(e)
+            for e in state.get("entries", [])
+        }

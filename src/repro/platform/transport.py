@@ -48,8 +48,10 @@ __all__ = [
     "RateLimitError",
     "TransientServerError",
     "RequestTimeoutError",
+    "PlatformBlackoutError",
     "Fault",
     "FaultPlan",
+    "draw_blackout_windows",
     "TransportStats",
     "DirectTransport",
     "FaultyTransport",
@@ -119,6 +121,24 @@ class RequestTimeoutError(TransientGraphApiError):
         self.elapsed = float(elapsed)
 
 
+class PlatformBlackoutError(TransientGraphApiError):
+    """The whole platform is down: a sustained outage window is active.
+
+    Unlike the per-call faults, a blackout fails *every* request whose
+    simulated start time falls inside the window, regardless of the
+    per-call fault draw — the multi-call failure pattern that opens
+    circuit breakers for real.  ``resume_at`` is the simulated global
+    time the window ends; schedulers can use it to pause and re-plan
+    instead of burning retry budgets against a wall.
+    """
+
+    kind = "blackout"
+
+    def __init__(self, app_id: str, resume_at: float) -> None:
+        super().__init__(app_id, f"platform blackout until t={resume_at:.0f}s")
+        self.resume_at = float(resume_at)
+
+
 # -- the fault plan --------------------------------------------------------
 
 
@@ -157,10 +177,43 @@ class FaultPlan:
     base_latency_s: float = 0.35
     #: service time of a fast failure (429/5xx responses return quickly)
     error_latency_s: float = 0.12
+    #: sustained-outage windows ``(start_s, end_s)`` on the *global*
+    #: simulated clock.  A request started inside a window fails with
+    #: :class:`PlatformBlackoutError` before any per-call draw — the
+    #: outage is platform-wide state, not a per-request coin flip.
+    #: Distinct from ``fault_rate``: windows work at ``fault_rate=0``.
+    blackout_windows: tuple[tuple[float, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.fault_rate < 1.0:
             raise ValueError(f"fault_rate must be in [0, 1), got {self.fault_rate}")
+        previous_end = -1.0
+        for start, end in self.blackout_windows:
+            if not 0.0 <= start < end:
+                raise ValueError(
+                    f"blackout window must satisfy 0 <= start < end, "
+                    f"got ({start}, {end})"
+                )
+            if start <= previous_end:
+                raise ValueError(
+                    "blackout windows must be sorted and non-overlapping"
+                )
+            previous_end = end
+
+    # -- blackout windows ---------------------------------------------------
+
+    def blackout_at(self, now_s: float) -> tuple[float, float] | None:
+        """The outage window containing *now_s*, or ``None``.
+
+        Closed at the start, open at the end: a request issued exactly
+        when the window closes reaches the platform again.
+        """
+        for start, end in self.blackout_windows:
+            if start <= now_s < end:
+                return (start, end)
+            if now_s < start:
+                return None
+        return None
 
     @property
     def disabled(self) -> bool:
@@ -202,6 +255,40 @@ class FaultPlan:
         if kind == "truncate":
             return Fault(kind, keep_fraction=float(rng.uniform(0.1, 0.9)))
         return Fault(kind)
+
+
+def draw_blackout_windows(
+    seed: int,
+    count: int,
+    horizon_s: float = 4.0 * 3600.0,
+    duration_range: tuple[float, float] = (60.0, 150.0),
+) -> tuple[tuple[float, float], ...]:
+    """*count* seeded, sorted, non-overlapping outage windows.
+
+    Window starts are drawn uniformly over ``[0, horizon_s)`` and
+    durations over *duration_range*; overlapping draws are merged apart
+    by shifting each window past its predecessor.  A pure function of
+    the arguments, so the same seed always produces the same outage
+    schedule — the blackout analogue of :meth:`FaultPlan.draw`.
+
+    The default duration range sits *below* the default breaker
+    cooldown (180 s), so a breaker opened by a blackout waits out one
+    cooldown and finds the platform healthy again: open once, close
+    once, no flapping.
+    """
+    if count <= 0:
+        return ()
+    rng = np.random.default_rng(derive_seed(seed, "blackout-windows"))
+    starts = sorted(float(rng.uniform(0.0, horizon_s)) for _ in range(count))
+    low, high = duration_range
+    windows: list[tuple[float, float]] = []
+    cursor = 0.0
+    for start in starts:
+        start = max(start, cursor)
+        end = start + float(rng.uniform(low, high))
+        windows.append((start, end))
+        cursor = end + 1.0  # keep windows strictly apart
+    return tuple(windows)
 
 
 # -- latency + fault accounting --------------------------------------------
@@ -519,6 +606,15 @@ class FaultyTransport:
     # of this transport and merges the sandbox's bookkeeping back in
     # canonical order; these accessors are that merge surface.
 
+    def active_blackout(self) -> tuple[float, float] | None:
+        """The outage window covering the current simulated instant.
+
+        The recrawl scheduler polls this before dispatching an app so a
+        sustained outage triggers *backpressure* (pause and re-plan)
+        instead of burning retry budgets and breaker state per call.
+        """
+        return self.plan.blackout_at(self.stats.elapsed_s)
+
     def vanished_apps(self) -> frozenset[str]:
         """Apps this transport has started answering 404 for."""
         return frozenset(self._vanished)
@@ -555,6 +651,17 @@ class FaultyTransport:
         """
         self.stats.add_request()
         obs = get_observer()
+        window = self.plan.blackout_at(self.stats.elapsed_s)
+        if window is not None:
+            # A platform-wide outage beats every per-app consideration:
+            # nothing answers, so no per-call randomness is consumed and
+            # no call index advances — the same crawl replayed after the
+            # window sees exactly the per-call faults it would have.
+            self.stats.add_fault("blackout")
+            self.stats.add_service(self.plan.error_latency_s)
+            if obs.enabled:
+                self._note_fault(obs, endpoint, app_id, "blackout")
+            raise PlatformBlackoutError(app_id, resume_at=window[1])
         if app_id in self._vanished:
             self.stats.add_service(self.plan.base_latency_s)
             if obs.enabled:

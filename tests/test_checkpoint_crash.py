@@ -14,6 +14,7 @@ post-mortem (CI uploads them as artifacts).
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import re
@@ -265,3 +266,118 @@ def test_cli_survives_kill_dash_nine(chaos_dir, tmp_path):
     resumed_stdout, _ = resumed.communicate(timeout=600)
     assert resumed.returncode == 0
     assert resumed_stdout == ref_stdout
+
+
+# -- simulated disk-full (ENOSPC) -------------------------------------------
+
+
+class _DiskFullHandle:
+    """A file-handle proxy whose Nth write fills the disk mid-line.
+
+    Models ENOSPC the way it actually bites an appender: part of the
+    line makes it to the page cache, then the write fails — leaving the
+    same torn-final-line artifact as a power cut mid-append.
+    """
+
+    def __init__(self, fh, fail_at_write: int) -> None:
+        self._fh = fh
+        self._fail_at = fail_at_write
+        self._writes = 0
+
+    def write(self, data: bytes) -> int:
+        self._writes += 1
+        if self._writes == self._fail_at:
+            self._fh.write(data[: max(1, len(data) // 3)])
+            self._fh.flush()
+            raise OSError(errno.ENOSPC, "No space left on device")
+        return self._fh.write(data)
+
+    def flush(self) -> None:
+        self._fh.flush()
+
+    def fileno(self) -> int:
+        return self._fh.fileno()
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def test_enospc_mid_append_resumes_byte_identical(
+    chaos_dir, pristine_world, baseline
+):
+    """Disk fills mid-append: the torn entry is absorbed on resume, the
+    resumed crawl is byte-identical, and no retry budget or fault draw
+    is double-counted for the app whose durability write died."""
+    apps, expected = baseline
+
+    # Uninterrupted reference for the no-double-counted-budget check.
+    state = pristine_world.installer.rng_state()
+    reference = make_crawler(pristine_world)
+    reference.crawl_many(apps)
+    pristine_world.installer.restore_rng_state(state)
+    expected_stats = reference.stats.snapshot()
+
+    journal = CrawlJournal(chaos_dir)
+    # Disk fills while appending the third app's journal line.
+    journal._fh = _DiskFullHandle(journal._fh, fail_at_write=3)
+    with pytest.raises(OSError) as excinfo:
+        make_crawler(pristine_world).crawl_many(apps, journal=journal)
+    assert excinfo.value.errno == errno.ENOSPC
+    journal.close()
+
+    # 'reboot' after the operator frees space: the torn line is the
+    # expected crash artifact — truncated, not quarantined, not fatal.
+    resumed_journal = CrawlJournal(chaos_dir)
+    assert resumed_journal.truncated_torn_line
+    assert len(resumed_journal) == 2  # exactly the durable prefix
+    crawler = make_crawler(pristine_world)
+    resumed = crawler.crawl_many(apps, journal=resumed_journal)
+    resumed_journal.close()
+    assert _canon(resumed) == expected
+    # The app with the torn line was re-crawled exactly once: total
+    # requests and injected-fault draws match the uninterrupted run.
+    assert crawler.stats.snapshot() == expected_stats
+
+
+def test_enospc_on_monitor_journal_resumes_byte_identical(tmp_path):
+    """The monitor's history store absorbs a disk-full append the same
+    way: torn entry truncated on reopen, resumed history byte-identical."""
+    from repro.crawler.monitor import AppMonitor, MonitorConfig, MonitorJournal
+
+    config = ScaleConfig(
+        scale=TEST_SCALE, master_seed=TEST_SEED, fault_rate=FAULT_RATE
+    )
+
+    def fresh(directory):
+        world = run_simulation(config)
+        report = MyPageKeeper(
+            UrlClassifier(world.services.blacklist), world.post_log
+        ).scan()
+        apps = sorted(
+            DatasetBuilder(world, report).build(crawl=False).d_sample
+        )[:N_APPS]
+        return AppMonitor(
+            world, make_crawler(world), apps,
+            config=MonitorConfig(epochs=1),
+            journal=MonitorJournal(directory),
+        )
+
+    monitor = fresh(tmp_path / "ref")
+    monitor.run()
+    expected = monitor.export_history_bytes()
+    monitor.journal.close()
+
+    monitor = fresh(tmp_path / "mon")
+    monitor.journal._fh = _DiskFullHandle(
+        monitor.journal._fh, fail_at_write=4
+    )
+    with pytest.raises(OSError) as excinfo:
+        monitor.run()
+    assert excinfo.value.errno == errno.ENOSPC
+    monitor.journal.close()
+
+    monitor = fresh(tmp_path / "mon")
+    assert monitor.journal.truncated_torn_line
+    monitor.run()
+    assert monitor.export_history_bytes() == expected
+    monitor.journal.close()

@@ -147,3 +147,72 @@ def test_pipeline_and_batched_serve_identical_with_observation_on():
         for s in serve_roots
     )
     assert shed_events >= overloaded
+
+
+def test_watchdog_assessments_identical_with_observation_on():
+    """The watchdog's spans/metrics (PR 8) only watch: assessments and
+    re-crawl decisions are byte-identical with a tracer installed."""
+    from repro.core.watchdog import AppWatchdog
+    from repro.crawler.crawler import AppCrawler
+
+    def assess_run(observer):
+        result = FrappePipeline(ScaleConfig(**CHAOS)).run(sweep_unlabelled=False)
+        watchdog = AppWatchdog(
+            result.classifier,
+            result.extractor,
+            AppCrawler(result.world),
+            max_staleness_days=0,  # force the stale -> re-crawl path too
+        )
+        apps = sorted(result.bundle.d_sample)[:8]
+        with observation(observer):
+            first = watchdog.bulk_assess(apps, day=400)
+            second = watchdog.bulk_assess(apps, day=400)  # cache hits
+        return [
+            (a.app_id, a.risk_score, a.confidence, tuple(a.advisories))
+            for a in first + second
+        ]
+
+    observer = TracingObserver()
+    assert assess_run(None) == assess_run(observer)
+    # ... and the run actually recorded watchdog telemetry.
+    metrics = observer.metrics
+    assert metrics.counter_value("watchdog_assessments_total",
+                                 confidence="high") > 0
+    assert metrics.counter_value("watchdog_cache_hits_total") > 0
+    assert metrics.histogram_of("watchdog_risk_score") is not None
+    assert metrics.histogram_of("watchdog_staleness_days") is not None
+
+
+def test_monitor_epoch_identical_with_observation_on(tmp_path):
+    """The monitor's spans, backpressure events, and append telemetry
+    leave the history store byte-identical."""
+    from repro.crawler.datasets import DatasetBuilder
+    from repro.crawler.monitor import AppMonitor, MonitorConfig, MonitorJournal
+    from repro.mypagekeeper.classifier import UrlClassifier
+    from repro.mypagekeeper.monitor import MyPageKeeper
+
+    def monitor_run(observer, directory):
+        world = run_simulation(ScaleConfig(**CHAOS, blackouts=2))
+        report = MyPageKeeper(
+            UrlClassifier(world.services.blacklist), world.post_log
+        ).scan()
+        apps = sorted(
+            DatasetBuilder(world, report).build(crawl=False).d_sample
+        )[:N_APPS]
+        journal = MonitorJournal(directory)
+        monitor = AppMonitor(
+            world, make_crawler(world), apps,
+            config=MonitorConfig(epochs=2, forensics=True, lifecycle=True),
+            journal=journal,
+        )
+        with observation(observer):
+            monitor.run()
+        journal.close()
+        return monitor.export_history_bytes()
+
+    observer = TracingObserver()
+    unobserved = monitor_run(None, tmp_path / "off")
+    observed = monitor_run(observer, tmp_path / "on")
+    assert unobserved == observed
+    assert observer.metrics.counter_value("monitor_appends_total") > 0
+    assert observer.metrics.counter_value("monitor_epochs_total") == 2.0
