@@ -34,9 +34,25 @@ __all__ = ["run_bench", "compare", "main"]
 
 BENCH_VERSION = 1
 
-#: ratios stable enough to gate on (large, workload-dominated); the
-#: remaining components are recorded for information only.
-GATED_COMPONENTS = ("feature_matrix", "name_clustering", "similarity_kernel")
+#: ratios stable enough to gate on (large, workload-dominated, or —
+#: for smo and batched_service — repeated and normalised until they
+#: are); the remaining components are recorded for information only.
+GATED_COMPONENTS = (
+    "feature_matrix",
+    "name_clustering",
+    "similarity_kernel",
+    "smo",
+    "batched_service",
+)
+
+#: machine-independent absolute floors, checked on the *current* report
+#: regardless of the baseline: an optimisation that stops winning at
+#: all is a regression even if the baseline also recorded a loss.
+#: ``strict=True`` demands measured > floor; otherwise measured >= floor.
+ABSOLUTE_GATES = (
+    ("batched_service_speedup", 1.0, True),
+    ("smo_speedup", 1.0, False),
+)
 
 
 def _time(fn: Callable[[], Any], repeats: int = 1) -> tuple[float, Any]:
@@ -190,11 +206,15 @@ def _bench_smo(n_samples: int, seed: int) -> dict[str, Any]:
     signs = np.array([-1.0] * half + [1.0] * half)
     kernel_matrix = rbf_kernel(x, x, gamma=1.0 / 9.0)
 
+    # Best-of-5: a single SMO run is short enough at CI scale that
+    # scheduler noise alone once pushed the ratio below 1.0x.
     naive_s, reference = _time(
-        lambda: _smo(kernel_matrix, signs, 1.0, 1e-3, 200, row_cache=False)
+        lambda: _smo(kernel_matrix, signs, 1.0, 1e-3, 200, row_cache=False),
+        repeats=5,
     )
     fast_s, fitted = _time(
-        lambda: _smo(kernel_matrix, signs, 1.0, 1e-3, 200, row_cache=True)
+        lambda: _smo(kernel_matrix, signs, 1.0, 1e-3, 200, row_cache=True),
+        repeats=5,
     )
     assert np.array_equal(reference[0], fitted[0]) and reference[1] == fitted[1]
     return {
@@ -207,39 +227,81 @@ def _bench_smo(n_samples: int, seed: int) -> dict[str, Any]:
 
 
 def _bench_batched_service(
-    result, n_requests: int, batch_size: int, seed: int
+    result, n_requests: int, batch_max: int, seed: int, repeats: int = 2
 ) -> dict[str, Any]:
     from repro.config import ServiceConfig
-    from repro.service.loadgen import LoadProfile, generate_requests
+    from repro.core.frappe import FrappeCascade
+    from repro.service.loadgen import (
+        LoadProfile,
+        estimate_capacity_rps,
+        generate_requests,
+    )
     from repro.service.service import make_service
     from repro.service.types import SERVED
 
+    # Train the cascade once, outside every timed region.  The old
+    # harness let ``make_service`` retrain it inside each timed run — a
+    # constant cost larger than serving itself at CI scale, diluting
+    # the measured ratio toward 1.0 regardless of how serving changed.
+    if result.cascade is None:
+        records, labels = result.sample_records()
+        result.cascade = FrappeCascade(result.extractor).fit(records, labels)
+
     app_ids = sorted(result.bundle.d_sample)
+    # Open-loop overload (3x the analytic single-worker capacity) over
+    # the whole app pool: adaptive batching only wins when the queue
+    # builds depth *and* the ticks actually score (a tiny hot pool
+    # turns the run into cache hits, which cost the same either way).
+    # Generous deadlines keep the headroom rule from forcing the batch
+    # back down to 1 the moment the backlog grows.
     profile = LoadProfile(
-        n_requests=n_requests, rate_rps=0.5, pool_size=20, seed=seed
+        n_requests=n_requests,
+        rate_rps=estimate_capacity_rps(result.world.schedule) * 3.0,
+        interactive_deadline_s=600.0,
+        bulk_deadline_s=1800.0,
+        pool_size=None,
+        seed=seed,
     )
     requests = generate_requests(app_ids, profile)
+    queue_depth = 64
 
-    def serve(size: int):
-        service = make_service(result, ServiceConfig(batch_size=size))
-        return service.serve(list(requests))
+    def timed_serve(config: ServiceConfig):
+        """Best-of-``repeats`` serve time; construction stays untimed."""
+        best_s = float("inf")
+        best = None
+        for _ in range(repeats):
+            service = make_service(result, config)
+            start = time.perf_counter()
+            report = service.serve(list(requests))
+            elapsed = time.perf_counter() - start
+            if elapsed < best_s:
+                best_s, best = elapsed, report
+        return best_s, best
 
-    unbatched_s, seq_report = _time(lambda: serve(1))
-    batched_s, batch_report = _time(lambda: serve(batch_size))
-    # Outcome counts may differ slightly: batching changes *simulated*
-    # timing (one score cost per batch), which can move a request
-    # across its deadline.  Both counts are recorded; only batch_size=1
-    # is contractually identical to the historical loop.
+    unbatched_s, seq_report = timed_serve(
+        ServiceConfig(max_queue_depth=queue_depth)
+    )
+    batched_s, batch_report = timed_serve(
+        ServiceConfig(max_queue_depth=queue_depth, batch_max=batch_max)
+    )
+    served_unbatched = seq_report.outcome_counts().get(SERVED, 0)
+    served_batched = batch_report.outcome_counts().get(SERVED, 0)
+    # Both runs consume the *identical* offered workload, but batching
+    # moves simulated time, so the served subsets can differ by a few
+    # requests; wall time per served request is the fair unit.
+    per_served_unbatched = unbatched_s / max(1, served_unbatched)
+    per_served_batched = batched_s / max(1, served_batched)
     return {
         "requests": n_requests,
-        "batch_size": batch_size,
-        "served_unbatched": seq_report.outcome_counts().get(SERVED, 0),
-        "served": batch_report.outcome_counts().get(SERVED, 0),
+        "batch_max": batch_max,
+        "queue_depth": queue_depth,
+        "served_unbatched": served_unbatched,
+        "served": served_batched,
         "max_batch_drained": max(r.batch_size for r in batch_report.responses),
         "unbatched_s": unbatched_s,
         "batched_s": batched_s,
-        "requests_per_s": n_requests / batched_s,
-        "speedup": unbatched_s / batched_s,
+        "requests_per_s": served_batched / batched_s,
+        "speedup": per_served_unbatched / per_served_batched,
     }
 
 
@@ -327,7 +389,7 @@ def run_bench(mode: str = "quick", seed: int = 2012) -> dict[str, Any]:
         "batched_service": _bench_batched_service(
             result,
             n_requests=120 if full else 60,
-            batch_size=4,
+            batch_max=8,
             seed=seed,
         ),
         "crawl_processes": _bench_crawl_processes(
@@ -358,9 +420,24 @@ def compare(
 
     Returns a list of human-readable failures (empty = pass).  Only the
     machine-independent speedup ratios are gated; extra gates in the
-    current report (new components) pass trivially.
+    current report (new components) pass trivially.  On top of the
+    relative check, :data:`ABSOLUTE_GATES` demands that the batched
+    service and the SMO row cache keep *winning at all* — a fast path
+    slower than its reference is a bug, whatever the baseline says.
     """
     failures = []
+    gates = current.get("gates", {})
+    for gate, floor, strict in ABSOLUTE_GATES:
+        measured = gates.get(gate)
+        if measured is None:
+            failures.append(f"{gate}: missing from the current report")
+        elif measured < floor or (strict and measured == floor):
+            op = ">" if strict else ">="
+            failures.append(
+                f"{gate}: {measured:.2f}x violates the absolute floor "
+                f"(must be {op} {floor:.2f}x: the fast path must not "
+                "lose to its reference)"
+            )
     if current.get("mode") != baseline.get("mode"):
         failures.append(
             f"mode mismatch: current={current.get('mode')!r} "

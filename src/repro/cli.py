@@ -192,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission queue bound (default 16)",
     )
     serve.add_argument(
+        "--batch-max", type=int, default=1,
+        help="adaptive continuous-batching cap: a tick drains up to "
+             "this many requests, batch growing with queue depth and "
+             "shrinking when deadline headroom is tight (default 1 = "
+             "the unbatched historical path)",
+    )
+    serve.add_argument(
         "--canary", choices=("good", "bad"), default=None,
         help="attach a champion–challenger rollout and put a canary on "
              "probation: 'good' agrees with the champion and is "
@@ -483,7 +490,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     result = FrappePipeline(_config(args)).run(sweep_unlabelled=False)
     service = make_service(
-        result, ServiceConfig(max_queue_depth=args.queue_depth)
+        result,
+        ServiceConfig(
+            max_queue_depth=args.queue_depth, batch_max=args.batch_max
+        ),
     )
     if args.canary:
         service.rollout = _build_canary_rollout(service, args.canary)

@@ -104,6 +104,21 @@ class FrappeClassifier:
             self._scaler.transform(self._matrix(records))
         )
 
+    def margins_from_raw(self, x_raw: np.ndarray) -> np.ndarray:
+        """Decision margins over an already extracted (unscaled) matrix.
+
+        The batched service extracts one ``ALL_FEATURES`` matrix per
+        tick and hands each tier model its row/column slice; scaling
+        and the support-vector Gram happen here exactly as in
+        :meth:`decision_function`, so the margins are bit-identical to
+        extracting this model's features directly (the column builders
+        are per-record functions, making any slice of the shared matrix
+        equal to a direct extraction).
+        """
+        if self._svm is None or self._scaler is None:
+            raise RuntimeError("classifier is not fitted")
+        return self._svm.decision_function(self._scaler.transform(x_raw))
+
     # -- evaluation ------------------------------------------------------------
 
     def cross_validate(
@@ -146,6 +161,7 @@ class FrappeCascade:
     """
 
     def __init__(self, extractor: FeatureExtractor, **svm_params) -> None:
+        self._extractor = extractor
         self._models = {
             tier: FrappeClassifier(extractor, features, **svm_params)
             for tier, features in TIER_FEATURES.items()
@@ -169,19 +185,32 @@ class FrappeCascade:
     def tier_of(self, record: CrawlRecord) -> str:
         return classification_tier(record)
 
+    def _tier_groups(
+        self, records: list[CrawlRecord]
+    ) -> dict[str, tuple[list[int], list[CrawlRecord]]]:
+        """``tier -> (indices, sub-list)`` in first-seen tier order.
+
+        Shared by :meth:`predict` and :meth:`score_batch`, so the tier
+        of each record is computed once per batch and each tier's
+        sub-list is allocated once, not once per consumer.
+        """
+        by_tier: dict[str, tuple[list[int], list[CrawlRecord]]] = {}
+        for index, record in enumerate(records):
+            tier = self.tier_of(record)
+            group = by_tier.get(tier)
+            if group is None:
+                group = by_tier[tier] = ([], [])
+            group[0].append(index)
+            group[1].append(record)
+        return by_tier
+
     def predict(self, records: list[CrawlRecord]) -> np.ndarray:
         """Per-record predictions, each routed through its tier's model."""
         predictions = np.zeros(len(records), dtype=int)
-        by_tier: dict[str, list[int]] = {}
-        for index, record in enumerate(records):
-            by_tier.setdefault(self.tier_of(record), []).append(index)
-        for tier, indices in by_tier.items():
+        for tier, (indices, subrecords) in self._tier_groups(records).items():
             if tier == "none":
                 continue  # no trustworthy evidence: leave the 0
-            tier_predictions = self._models[tier].predict(
-                [records[i] for i in indices]
-            )
-            predictions[indices] = tier_predictions
+            predictions[indices] = self._models[tier].predict(subrecords)
         return predictions
 
     def predict_one(self, record: CrawlRecord) -> bool:
@@ -202,21 +231,48 @@ class FrappeCascade:
 
         Routes records exactly like :meth:`score_record` — same tier
         choice, same ``margin >= 0`` rule — but amortises the cost:
-        feature extraction and kernel evaluation run once per *tier
-        group*, not once per record.  On a single record this calls the
-        same ``decision_function([record])`` as :meth:`score_record`,
-        so the two are bit-identical at batch size 1.
+        one feature extraction over the whole batch (every tier's
+        feature tuple is a prefix of ``ALL_FEATURES``, so a tier model
+        scores a row/column slice of the shared matrix), one scaler
+        transform and one support-vector Gram per *tier group*.  The
+        column builders are per-record functions, so the slice holds
+        the very same floats a direct per-tier extraction would — on a
+        single record this reduces to the same arithmetic as
+        :meth:`score_record`, and the two are bit-identical at batch
+        size 1.
         """
         results: list[tuple[int, float, str]] = [(0, 0.0, "none")] * len(records)
-        by_tier: dict[str, list[int]] = {}
-        for index, record in enumerate(records):
-            by_tier.setdefault(self.tier_of(record), []).append(index)
-        for tier, indices in by_tier.items():
-            if tier == "none":
-                continue
-            margins = self._models[tier].decision_function(
-                [records[i] for i in indices]
-            )
+        groups = [
+            (self._models[tier], indices, subrecords, tier)
+            for tier, (indices, subrecords) in self._tier_groups(records).items()
+            if tier != "none"
+        ]
+        fused = [
+            group for group in groups
+            if group[0].features == ALL_FEATURES[: len(group[0].features)]
+        ]
+        matrix = None
+        if fused:
+            scorable = [
+                record
+                for _, _, subrecords, _ in fused
+                for record in subrecords
+            ]
+            matrix = self._extractor.matrix(scorable, ALL_FEATURES)
+        offset = 0
+        for model, indices, subrecords, tier in groups:
+            if matrix is not None and model.features == ALL_FEATURES[
+                : len(model.features)
+            ]:
+                rows = matrix[
+                    offset : offset + len(indices), : len(model.features)
+                ]
+                offset += len(indices)
+                margins = model.margins_from_raw(rows)
+            else:
+                # A model whose features are not an ALL_FEATURES prefix
+                # (e.g. forensic-extended) extracts its own matrix.
+                margins = model.decision_function(subrecords)
             for index, margin in zip(indices, margins):
                 value = float(margin)
                 results[index] = (int(value >= 0.0), value, tier)

@@ -165,8 +165,20 @@ class AppWatchdog:
                 notes.append(text)
         return notes
 
-    def assess_record(self, record: CrawlRecord, day: int = 0) -> AppAssessment:
-        """Assess an already crawled record (no caching)."""
+    def assess_record(
+        self,
+        record: CrawlRecord,
+        day: int = 0,
+        scored: tuple[float, str] | None = None,
+    ) -> AppAssessment:
+        """Assess an already crawled record (no caching).
+
+        ``scored`` optionally supplies an already computed
+        ``(margin, tier)`` pair for *record* from this watchdog's own
+        classifier — the verdict service scores every live record
+        before assessing it, so passing the result through skips a
+        bit-identical re-evaluation of the decision function.
+        """
         obs = get_observer()
         span_cm = span = None
         if obs.enabled:
@@ -177,7 +189,7 @@ class AppWatchdog:
                 t=self._crawler.stats.elapsed_s,
             )
             span = span_cm.__enter__()
-        margin, tier = self._margin_and_tier(record)
+        margin, tier = scored if scored is not None else self._margin_and_tier(record)
         # Deleted apps have no crawlable summary; fall back to the name
         # observed in post metadata (how the paper knows dead apps' names).
         name = record.name or self._extractor.name_of(record.app_id)

@@ -18,13 +18,26 @@ def linear_kernel(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     return np.asarray(x, dtype=float) @ np.asarray(y, dtype=float).T
 
 
-def rbf_kernel(x: np.ndarray, y: np.ndarray, gamma: float = 1.0) -> np.ndarray:
-    """K(a, b) = exp(-gamma * ||a - b||^2)."""
+def rbf_kernel(
+    x: np.ndarray,
+    y: np.ndarray,
+    gamma: float = 1.0,
+    y_sq: np.ndarray | None = None,
+) -> np.ndarray:
+    """K(a, b) = exp(-gamma * ||a - b||^2).
+
+    ``y_sq`` optionally supplies the precomputed squared row norms of
+    ``y`` (``np.sum(y * y, axis=1)``).  A fitted SVM evaluates this
+    kernel against the same support vectors on every call, so it can
+    compute the norms once at fit time; the values are the very same
+    floats this function would derive, keeping results bit-identical.
+    """
     x = np.asarray(x, dtype=float)
     y = np.asarray(y, dtype=float)
     x_sq = np.sum(x * x, axis=1)[:, None]
-    y_sq = np.sum(y * y, axis=1)[None, :]
-    sq_dist = np.maximum(x_sq + y_sq - 2.0 * (x @ y.T), 0.0)
+    if y_sq is None:
+        y_sq = np.sum(y * y, axis=1)
+    sq_dist = np.maximum(x_sq + y_sq[None, :] - 2.0 * (x @ y.T), 0.0)
     return np.exp(-gamma * sq_dist)
 
 

@@ -53,6 +53,10 @@ class SVC:
         self._gamma_value: float = 1.0
         self._support_x: np.ndarray | None = None
         self._support_coef: np.ndarray | None = None  # alpha_i * y_i
+        #: squared row norms of the support vectors, computed once at
+        #: fit time so the RBF Gram of every decision_function call
+        #: reuses them (bit-identical to recomputing per call)
+        self._support_sq: np.ndarray | None = None
         self._bias: float = 0.0
         self._constant_label: int | None = None
         self.n_iterations_: int = 0
@@ -117,6 +121,7 @@ class SVC:
             # Degenerate single-class training set: predict the constant.
             self._constant_label = int(labels[0])
             self._support_x = None
+            self._support_sq = None
             self.alphas_ = None
             return self
         self._constant_label = None
@@ -148,6 +153,7 @@ class SVC:
             support = alphas > 1e-12
             self._support_x = x[support]
             self._support_coef = (alphas * signs)[support]
+            self._support_sq = np.sum(self._support_x * self._support_x, axis=1)
             self._bias = bias
             if obs.enabled:
                 span.end(float(iterations))
@@ -177,7 +183,15 @@ class SVC:
             raise RuntimeError("classifier is not fitted")
         if self.n_support_ == 0:
             return np.full(len(x), self._bias)
-        gram = self._gram(x, self._support_x)
+        if self.kernel == "rbf":
+            gram = rbf_kernel(
+                x,
+                self._support_x,
+                gamma=self._gamma_value,
+                y_sq=self._support_sq,
+            )
+        else:
+            gram = self._gram(x, self._support_x)
         return gram @ self._support_coef + self._bias
 
     def predict(self, x: np.ndarray) -> np.ndarray:
@@ -236,7 +250,12 @@ def _smo(
       ``(i2, len(non_bound))`` — a *fresh* ``default_rng(i2)`` always
       produces the same first draw for the same bounds, so building one
       generator per call (the old behaviour, ~tens of microseconds
-      each) only ever recomputed a constant.
+      each) only ever recomputed a constant;
+    * the non-bound set ``(alphas > eps) & (alphas < c - eps)`` is
+      maintained as a boolean mask updated at the two entries each
+      successful step changes, instead of being rebuilt from two full
+      comparisons per examine call; ``flatnonzero`` of the mask yields
+      the identical sorted index array.
     """
     n = len(signs)
     eps = 1e-12
@@ -253,6 +272,14 @@ def _smo(
         coef = alphas * signs
         errors = kernel_matrix @ coef + bias - signs
     roll_cache: dict[tuple[int, int], int] = {}
+    # Maintained incrementally when row_cache is on (exact: only the
+    # entries take_step writes can change the predicate).
+    non_bound_mask = (alphas > eps) & (alphas < c - eps)
+
+    def _non_bound() -> np.ndarray:
+        if row_cache:
+            return np.flatnonzero(non_bound_mask)
+        return np.flatnonzero((alphas > eps) & (alphas < c - eps))
 
     def take_step(i1: int, i2: int) -> bool:
         nonlocal bias
@@ -319,6 +346,8 @@ def _smo(
         if row_cache:
             coef[i1] = a1 * y1
             coef[i2] = a2 * y2
+            non_bound_mask[i1] = eps < a1 < c - eps
+            non_bound_mask[i2] = eps < a2 < c - eps
         errors[i1] = _f_of(i1) - y1
         errors[i2] = _f_of(i2) - y2
         return True
@@ -333,7 +362,7 @@ def _smo(
         e2 = errors[i2]
         r2 = e2 * y2
         if (r2 < -tol and alpha2 < c) or (r2 > tol and alpha2 > 0):
-            non_bound = np.flatnonzero((alphas > eps) & (alphas < c - eps))
+            non_bound = _non_bound()
             if len(non_bound) > 1:
                 # Second-choice heuristic: maximise |E1 - E2|.
                 i1 = int(non_bound[np.argmax(np.abs(errors[non_bound] - e2))])
@@ -379,7 +408,7 @@ def _smo(
             for i in range(n):
                 num_changed += examine(i)
         else:
-            for i in np.flatnonzero((alphas > eps) & (alphas < c - eps)):
+            for i in _non_bound():
                 num_changed += examine(int(i))
         if obs.enabled:
             obs.event(

@@ -20,11 +20,12 @@ requests' monotone ``sequence`` numbers, never on dict order or clocks.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 
-from repro.service.types import PRIORITIES, ScoreRequest
+from repro.service.types import PRIORITIES, BatchPlan, ScoreRequest
 
-__all__ = ["AdmissionQueue"]
+__all__ = ["AdmissionQueue", "plan_batch"]
 
 
 class AdmissionQueue:
@@ -124,6 +125,25 @@ class AdmissionQueue:
             raise IndexError("pop from an empty AdmissionQueue")
         return batch
 
+    def peek_batch(self, limit: int) -> list[ScoreRequest]:
+        """The requests :meth:`pop_batch` would return, without removal.
+
+        Same cross-lane strict-priority order; lets the adaptive
+        batching controller inspect deadline headroom before deciding
+        how much to drain, without mutating the queue.
+        """
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        batch: list[ScoreRequest] = []
+        for priority in PRIORITIES:
+            lane = self._lanes[priority]
+            if not lane:
+                continue
+            batch.extend(lane[: limit - len(batch)])
+            if len(batch) == limit:
+                break
+        return batch
+
     def total_shed(self) -> int:
         return sum(self.shed_counts.values())
 
@@ -150,3 +170,51 @@ class AdmissionQueue:
         if offered == 0:
             return 0.0
         return self.shed_counts[priority] / offered
+
+
+def plan_batch(
+    queue: AdmissionQueue,
+    now_s: float,
+    batch_max: int,
+    service_estimate_s: float,
+) -> BatchPlan:
+    """Decide how many requests the next tick drains (adaptive batching).
+
+    The inference-server-style continuous-batching rule: the batch
+    *grows* with queue depth — a deep queue means per-tick fixed costs
+    (the scoring pass) should amortise over more requests — and
+    *shrinks* while the tightest deadline headroom in the candidate
+    batch cannot absorb serving the whole batch.  Every response of a
+    tick completes at the tick's end, so a ``k``-batch delays its most
+    urgent member by roughly ``k`` per-request service times; the loop
+    takes the largest ``k <= min(depth, batch_max)`` whose most urgent
+    member still has ``k * service_estimate_s`` of slack (an already
+    expired head degenerates to ``k = 1``, answering it immediately
+    with a typed ``deadline`` response).
+
+    A pure function of the queue state and ``now_s``: no clocks, no
+    randomness, no queue mutation — the whole adaptive service stays a
+    deterministic function of its seed and configuration.
+    """
+    depth = len(queue)
+    size = min(depth, batch_max)
+    if size <= 1:
+        return BatchPlan(size=1, depth=depth, headroom_s=math.inf, reason="depth")
+    heads = queue.peek_batch(size)
+    # Prefix minima of the absolute deadlines, in drain order: the
+    # tightest deadline among the first k candidates.
+    tightest: list[float] = []
+    low = math.inf
+    for request in heads:
+        low = min(low, request.deadline_at)
+        tightest.append(low)
+    reason = "max" if size == batch_max else "depth"
+    while size > 1 and tightest[size - 1] - now_s < size * service_estimate_s:
+        size -= 1
+        reason = "headroom"
+    return BatchPlan(
+        size=size,
+        depth=depth,
+        headroom_s=tightest[size - 1] - now_s,
+        reason=reason,
+    )

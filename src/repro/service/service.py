@@ -51,7 +51,7 @@ from repro.crawler.resilience import (
 )
 from repro.obs.observer import get_observer
 from repro.platform.transport import TransportStats
-from repro.service.admission import AdmissionQueue
+from repro.service.admission import AdmissionQueue, plan_batch
 from repro.service.bulkhead import Bulkhead
 from repro.service.cache import FRESH, MISS, STALE, CacheEntry, VerdictCache
 from repro.service.rollout import RolloutController
@@ -263,6 +263,10 @@ class VerdictService:
         self.queue = AdmissionQueue(max_depth=self.config.max_queue_depth)
         self._sequence = 0
         self._report = ServiceReport(queue_bound=self.config.max_queue_depth)
+        #: simulated instant the (overlapped) scoring stage is busy
+        #: until; stays 0.0 — and the whole overlap machinery inert —
+        #: unless adaptive batching (batch_max > 1) is on
+        self._score_busy_until = 0.0
 
     # -- clock -------------------------------------------------------------
 
@@ -323,6 +327,25 @@ class VerdictService:
             for request, response in self._serve_tick():
                 if not request.internal:
                     self._report.responses.append(response)
+        self._sync_scorer()
+
+    def _sync_scorer(self, horizon_s: float | None = None) -> None:
+        """Advance the clock into outstanding overlapped score work.
+
+        With overlap on, a tick's scoring runs concurrently (on the
+        simulated clock) with the next tick's crawl I/O, so the clock
+        is not advanced when the score cost is incurred.  Whenever the
+        worker would otherwise go idle — or the run ends — the clock
+        catches up to the scorer here, up to ``horizon_s`` (e.g. the
+        next arrival).  A strict no-op unless overlap charged work.
+        """
+        pending = self._score_busy_until - self.now_s
+        if pending <= 0.0:
+            return
+        if horizon_s is not None:
+            pending = min(pending, horizon_s - self.now_s)
+        if pending > 0.0:
+            self.stats.add_service(pending)
 
     # -- the served workload -----------------------------------------------
 
@@ -349,8 +372,10 @@ class VerdictService:
                 index += 1
             if not self.queue:
                 if index >= len(arrivals):
+                    self._sync_scorer()
                     break
-                idle = arrivals[index].arrival_s - now
+                self._sync_scorer(horizon_s=arrivals[index].arrival_s)
+                idle = arrivals[index].arrival_s - self.now_s
                 if idle > 0.0:
                     self.stats.add_wait(idle)
                     report.idle_s += idle
@@ -482,13 +507,19 @@ class VerdictService:
         self, request: ScoreRequest, started: float
     ) -> tuple[VerdictResponse | None, str]:
         """Cache-served response, or the cache state a live crawl records."""
+        obs = get_observer()
+        with obs.profile("serve.cache"):
+            return self._consult_cache_inner(request, started, obs)
+
+    def _consult_cache_inner(
+        self, request: ScoreRequest, started: float, obs
+    ) -> tuple[VerdictResponse | None, str]:
         version = (
             self.rollout.champion.version if self.rollout is not None else None
         )
         state, entry = self.cache.lookup(
             request.app_id, started, model_version=version
         )
-        obs = get_observer()
         if obs.enabled:
             obs.event(
                 "cache.lookup",
@@ -524,15 +555,46 @@ class VerdictService:
     def _serve_tick(self) -> list[tuple[ScoreRequest, VerdictResponse]]:
         """Drain one scheduling tick of the queue.
 
-        With ``batch_size <= 1`` (or only one request queued) this is
-        exactly one :meth:`AdmissionQueue.pop` plus :meth:`_handle` —
-        the unbatched code path, bit for bit.  Otherwise it drains up to
-        ``batch_size`` head-lane requests and handles them as one batch.
+        Three regimes, decided by configuration:
+
+        * ``batch_max > 1`` — adaptive continuous batching: the tick
+          drains a :func:`plan_batch`-planned number of requests (the
+          batch grows with queue depth, shrinks when deadline headroom
+          is tight) and overlaps its scoring with the next tick's crawl
+          I/O when ``overlap`` is on.
+        * ``batch_size > 1`` (and ``batch_max == 1``) — the legacy
+          fixed-size drain.
+        * otherwise — exactly one :meth:`AdmissionQueue.pop` plus
+          :meth:`_handle`: the historical unbatched code path, bit for
+          bit.
         """
+        obs = get_observer()
+        if self.config.batch_max > 1:
+            with obs.profile("serve.pop"):
+                plan = plan_batch(
+                    self.queue,
+                    self.now_s,
+                    batch_max=self.config.batch_max,
+                    service_estimate_s=self.config.batch_headroom_s,
+                )
+                batch = self.queue.pop_batch(plan.size)
+            if obs.enabled:
+                obs.event(
+                    "serve.batch_planned",
+                    t=self.now_s,
+                    category="serve",
+                    size=plan.size,
+                    depth=plan.depth,
+                    reason=plan.reason,
+                )
+                obs.observe("serve_batch_planned", float(plan.size))
+            return self._handle_batch(batch)
         if self.config.batch_size <= 1:
-            request = self.queue.pop()
+            with obs.profile("serve.pop"):
+                request = self.queue.pop()
             return [(request, self._handle(request))]
-        batch = self.queue.pop_batch(self.config.batch_size)
+        with obs.profile("serve.pop"):
+            batch = self.queue.pop_batch(self.config.batch_size)
         if len(batch) == 1:
             return [(batch[0], self._handle(batch[0]))]
         return self._handle_batch(batch)
@@ -546,10 +608,20 @@ class VerdictService:
         cache consults, and crawls happen request by request on the
         simulated clock, in FIFO order.  What is batched is the scoring:
         every live crawl of the tick goes through one
-        :meth:`FrappeCascade.score_batch` call, and the per-request
-        ``score_cost_s`` is charged once for the whole batch.  All of
-        the tick's responses complete together (at the tick's end) and
-        record the drained batch size.
+        :meth:`FrappeCascade.score_batch` call (per-model sub-batches
+        under a rollout), and the per-request ``score_cost_s`` is
+        charged once for the whole batch.  All of the tick's responses
+        complete together (at the tick's end) and record the drained
+        batch size.
+
+        With overlap on (adaptive mode), the score cost is *not*
+        debited to the shared clock here: the scorer is modelled as a
+        stage of its own that stays busy until
+        ``max(now, previously busy until) + score_cost_s``, so the next
+        tick's crawl I/O proceeds concurrently on the simulated clock
+        and :meth:`_sync_scorer` reconciles any remainder when the
+        worker idles or the run ends.  Live responses finish when the
+        scorer does.
         """
         size = len(batch)
         obs = get_observer()
@@ -594,46 +666,42 @@ class VerdictService:
                     live.append((len(staged), started, cache_state))
                     staged.append((request, None))
         if live:
-            self.stats.add_service(self.config.score_cost_s)
-            with obs.profile("score"):
-                if self.rollout is None:
-                    scored = [
-                        (prediction, margin, tier, 0, None)
-                        for prediction, margin, tier
-                        in self._cascade.score_batch(records)
-                    ]
-                else:
-                    # Under a rollout the batch splits across models;
-                    # score record-by-record with each request's
-                    # assigned model (the tick still pays one
-                    # score_cost_s, charged above).
-                    scored = []
-                    for (index, _, _), record in zip(live, records):
-                        cascade, version, shadow = self._select_model(
-                            staged[index][0]
-                        )
-                        prediction, margin, tier = cascade.score_record(record)
-                        scored.append((prediction, margin, tier, version, shadow))
+            overlap = self.config.batch_max > 1 and self.config.overlap
+            if overlap:
+                start = self.now_s
+                if self._score_busy_until > start:
+                    start = self._score_busy_until
+                finish = start + self.config.score_cost_s
+                self._score_busy_until = finish
+            else:
+                self.stats.add_service(self.config.score_cost_s)
+                finish = self.now_s
+            with obs.profile("score"), obs.profile("serve.score"):
+                scored = self._score_live_batch(staged, live, records)
             if obs.enabled:
                 obs.sim_cost("score", self.config.score_cost_s)
                 obs.observe("serve_batch_live", float(len(live)))
-            for (
-                (index, started, cache_state),
-                record,
-                (prediction, _, tier, version, shadow),
-            ) in zip(live, records, scored):
-                request = staged[index][0]
-                if cache_state is None:
-                    response = self._finish_refresh(
-                        request, started, record, prediction, tier,
-                        version=version,
-                    )
-                else:
-                    response = self._respond_live(
-                        request, started, cache_state, record, prediction,
-                        tier, version=version, shadow=shadow,
-                    )
-                staged[index] = (request, response)
+            with obs.profile("serve.respond"):
+                for (
+                    (index, started, cache_state),
+                    record,
+                    (prediction, margin, tier, version, shadow_prediction),
+                ) in zip(live, records, scored):
+                    request = staged[index][0]
+                    if cache_state is None:
+                        response = self._finish_refresh(
+                            request, started, record, prediction, tier,
+                            version=version, margin=margin,
+                            finished_at=finish,
+                        )
+                    else:
+                        response = self._respond_live(
+                            request, started, cache_state, record, prediction,
+                            tier, version=version,
+                            shadow_prediction=shadow_prediction,
+                            margin=margin, finished_at=finish,
+                        )
+                    staged[index] = (request, response)
         results: list[tuple[ScoreRequest, VerdictResponse]] = []
         for (request, response), span in zip(staged, spans):
             assert response is not None
@@ -716,12 +784,13 @@ class VerdictService:
     # -- live scoring --------------------------------------------------------
 
     def _crawl_request(self, request: ScoreRequest) -> CrawlRecord:
-        return self._crawler.crawl_app(
-            request.app_id,
-            deadline_at=request.deadline_at,
-            bulkhead=self._bulkhead,
-            strict_deadline=True,
-        )
+        with get_observer().profile("serve.crawl"):
+            return self._crawler.crawl_app(
+                request.app_id,
+                deadline_at=request.deadline_at,
+                bulkhead=self._bulkhead,
+                strict_deadline=True,
+            )
 
     def _select_model(self, request: ScoreRequest) -> tuple[Any, int, Any]:
         """(cascade, version, shadow) scoring this request.
@@ -747,12 +816,15 @@ class VerdictService:
             self.rollout.model_for(champion),
         )
 
-    def _account_canary(
-        self, prediction: int, shadow: Any, record: CrawlRecord
-    ) -> None:
+    def _account_canary(self, prediction: int, shadow_prediction: int) -> None:
         """Feed one canary verdict (+ champion shadow) to the health gate."""
         assert self.rollout is not None
-        shadow_prediction, _, _ = shadow.score_record(record)
+        if self.rollout.canary is None:
+            # The canary left probation (promoted or rolled back) while
+            # this tick's batch was in flight; the remaining verdicts
+            # of the batch were still scored by it, but there is no
+            # probation left to account them against.
+            return
         transition = self.rollout.record_canary(
             bool(prediction), bool(shadow_prediction), t=self.now_s
         )
@@ -761,12 +833,83 @@ class VerdictService:
 
     def _crawl_and_score(
         self, request: ScoreRequest
-    ) -> tuple[CrawlRecord, int, float, str, int, Any]:
+    ) -> tuple[CrawlRecord, int, float, str, int, int | None]:
         record = self._crawl_request(request)
         self.stats.add_service(self.config.score_cost_s)
-        cascade, version, shadow = self._select_model(request)
-        prediction, margin, tier = cascade.score_record(record)
-        return record, prediction, margin, tier, version, shadow
+        obs = get_observer()
+        with obs.profile("score"), obs.profile("serve.score"):
+            cascade, version, shadow = self._select_model(request)
+            prediction, margin, tier = cascade.score_record(record)
+            shadow_prediction = (
+                shadow.score_record(record)[0] if shadow is not None else None
+            )
+        return record, prediction, margin, tier, version, shadow_prediction
+
+    @staticmethod
+    def _score_with(
+        model: Any, records: list[CrawlRecord]
+    ) -> list[tuple[int, float, str]]:
+        """Score *records* with *model*, batched when the model can.
+
+        Rollout payloads are usually :class:`FrappeCascade` instances
+        (batched), but anything exposing ``score_record`` — e.g. an
+        experiment's wrapper model — still works record by record.
+        """
+        if hasattr(model, "score_batch"):
+            return model.score_batch(records)
+        return [model.score_record(record) for record in records]
+
+    def _score_live_batch(
+        self,
+        staged: list[tuple[ScoreRequest, VerdictResponse | None]],
+        live: list[tuple[int, float, str | None]],
+        records: list[CrawlRecord],
+    ) -> list[tuple[int, float, str, int, int | None]]:
+        """``(prediction, margin, tier, version, shadow_prediction)``
+        per live record of the tick, aligned with *live*.
+
+        Without a rollout the whole tick is one
+        :meth:`FrappeCascade.score_batch` call.  Under a rollout the
+        tick splits into per-model-version sub-batches (champion
+        requests, canary requests, internal refreshes), each scored
+        with one batched pass — plus one champion shadow pass over the
+        canary sub-batch for the health gate — instead of record by
+        record.
+        """
+        if self.rollout is None:
+            return [
+                (prediction, margin, tier, 0, None)
+                for prediction, margin, tier
+                in self._cascade.score_batch(records)
+            ]
+        selections = [
+            self._select_model(staged[index][0]) for index, _, _ in live
+        ]
+        # Positions sharing a model version form one sub-batch; the
+        # shadow (champion or None) is uniform within a version.
+        groups: dict[int, list[int]] = {}
+        for position, (_, version, _) in enumerate(selections):
+            groups.setdefault(version, []).append(position)
+        scored: list[tuple[int, float, str, int, int | None]] = (
+            [(0, 0.0, "none", 0, None)] * len(live)
+        )
+        for version, positions in groups.items():
+            cascade, _, shadow = selections[positions[0]]
+            subrecords = [records[position] for position in positions]
+            results = self._score_with(cascade, subrecords)
+            if shadow is not None:
+                shadow_predictions: list[int | None] = [
+                    result[0] for result in self._score_with(shadow, subrecords)
+                ]
+            else:
+                shadow_predictions = [None] * len(positions)
+            for position, (prediction, margin, tier), shadow_prediction in zip(
+                positions, results, shadow_predictions
+            ):
+                scored[position] = (
+                    prediction, margin, tier, version, shadow_prediction
+                )
+        return scored
 
     @staticmethod
     def _crawl_effort(record: CrawlRecord) -> tuple[int, int]:
@@ -774,21 +917,25 @@ class VerdictService:
         faults = sum(len(o.faults) for o in record.outcomes.values())
         return attempts, faults
 
-    def _store(self, record: CrawlRecord, entry: CacheEntry) -> None:
+    def _store(
+        self, record: CrawlRecord, entry: CacheEntry, now_s: float | None = None
+    ) -> None:
         summary = record.outcomes.get("summary")
         entry.negative = summary is not None and summary.status == PERMANENT
-        self.cache.store(entry, self.now_s)
+        self.cache.store(entry, self.now_s if now_s is None else now_s)
 
     def _score_live(
         self, request: ScoreRequest, started: float, cache_state: str
     ) -> VerdictResponse:
-        record, prediction, margin, tier, version, shadow = (
+        record, prediction, margin, tier, version, shadow_prediction = (
             self._crawl_and_score(request)
         )
-        return self._respond_live(
-            request, started, cache_state, record, prediction, tier,
-            version=version, shadow=shadow,
-        )
+        with get_observer().profile("serve.respond"):
+            return self._respond_live(
+                request, started, cache_state, record, prediction, tier,
+                version=version, shadow_prediction=shadow_prediction,
+                margin=margin,
+            )
 
     def _respond_live(
         self,
@@ -799,14 +946,27 @@ class VerdictService:
         prediction: int,
         tier: str,
         version: int = 0,
-        shadow: Any = None,
+        shadow_prediction: int | None = None,
+        margin: float | None = None,
+        finished_at: float | None = None,
     ) -> VerdictResponse:
+        finished = self.now_s if finished_at is None else finished_at
         attempts, faults = self._crawl_effort(record)
+        # The service already scored this record; hand the (margin,
+        # tier) through so the watchdog skips a bit-identical
+        # re-evaluation.  Under a rollout the watchdog keeps its own
+        # static cascade's view (the margin may have come from a canary
+        # model), so the pass-through is withheld there.
+        scored = (
+            (margin, tier)
+            if margin is not None and self.rollout is None
+            else None
+        )
         if tier in _TIER_RUNG:
-            if shadow is not None:
-                self._account_canary(prediction, shadow, record)
-            assessment = self._watchdog.assess_record(record)
-            if shadow is None:
+            if shadow_prediction is not None:
+                self._account_canary(prediction, shadow_prediction)
+            assessment = self._watchdog.assess_record(record, scored=scored)
+            if shadow_prediction is None:
                 # Only champion verdicts are cached: a canary on
                 # probation must never leave verdicts behind that a
                 # rollback would then serve.
@@ -819,7 +979,7 @@ class VerdictService:
                     advisories=list(assessment.advisories),
                     model_version=version,
                 )
-                self._store(record, entry)
+                self._store(record, entry, now_s=finished)
             return VerdictResponse(
                 app_id=request.app_id,
                 outcome=SERVED,
@@ -833,7 +993,7 @@ class VerdictService:
                 cache_state=cache_state,
                 arrival_s=request.arrival_s,
                 started_s=started,
-                finished_s=self.now_s,
+                finished_s=finished,
                 attempts=attempts,
                 faults=faults,
                 record=record,
@@ -855,20 +1015,20 @@ class VerdictService:
                 reason=(
                     self._degradation_reason(record, tier)
                     + "; serving the last cached verdict "
-                    f"({resort.age_s(self.now_s):.0f}s old)"
+                    f"({resort.age_s(finished):.0f}s old)"
                 ),
                 advisories=list(resort.advisories),
                 cache_state=cache_state,
                 arrival_s=request.arrival_s,
                 started_s=started,
-                finished_s=self.now_s,
+                finished_s=finished,
                 attempts=attempts,
                 faults=faults,
                 record=record,
                 model_version=resort.model_version,
             )
         if tier == "summary_only":
-            assessment = self._watchdog.assess_record(record)
+            assessment = self._watchdog.assess_record(record, scored=scored)
             return VerdictResponse(
                 app_id=request.app_id,
                 outcome=SERVED,
@@ -883,7 +1043,7 @@ class VerdictService:
                 cache_state=cache_state,
                 arrival_s=request.arrival_s,
                 started_s=started,
-                finished_s=self.now_s,
+                finished_s=finished,
                 attempts=attempts,
                 faults=faults,
                 record=record,
@@ -902,7 +1062,7 @@ class VerdictService:
             cache_state=cache_state,
             arrival_s=request.arrival_s,
             started_s=started,
-            finished_s=self.now_s,
+            finished_s=finished,
             attempts=attempts,
             faults=faults,
             record=record,
@@ -914,9 +1074,11 @@ class VerdictService:
         record, prediction, margin, tier, version, _ = (
             self._crawl_and_score(request)
         )
-        return self._finish_refresh(
-            request, started, record, prediction, tier, version=version
-        )
+        with get_observer().profile("serve.respond"):
+            return self._finish_refresh(
+                request, started, record, prediction, tier, version=version,
+                margin=margin,
+            )
 
     def _finish_refresh(
         self,
@@ -926,10 +1088,18 @@ class VerdictService:
         prediction: int,
         tier: str,
         version: int = 0,
+        margin: float | None = None,
+        finished_at: float | None = None,
     ) -> VerdictResponse:
+        finished = self.now_s if finished_at is None else finished_at
         attempts, faults = self._crawl_effort(record)
+        scored = (
+            (margin, tier)
+            if margin is not None and self.rollout is None
+            else None
+        )
         if tier in _TIER_RUNG:
-            assessment = self._watchdog.assess_record(record)
+            assessment = self._watchdog.assess_record(record, scored=scored)
             entry = CacheEntry(
                 app_id=request.app_id,
                 verdict=bool(prediction),
@@ -939,7 +1109,7 @@ class VerdictService:
                 advisories=list(assessment.advisories),
                 model_version=version,
             )
-            self._store(record, entry)
+            self._store(record, entry, now_s=finished)
             self._report.refreshes_done += 1
         else:
             # The refresh crawl came back without trustworthy evidence;
@@ -954,7 +1124,7 @@ class VerdictService:
             reason="background cache revalidation",
             arrival_s=request.arrival_s,
             started_s=started,
-            finished_s=self.now_s,
+            finished_s=finished,
             attempts=attempts,
             faults=faults,
             record=record,

@@ -53,6 +53,7 @@ __all__ = [
     "RUNGS",
     "ScoreRequest",
     "VerdictResponse",
+    "BatchPlan",
 ]
 
 # -- priorities, most important first ---------------------------------------
@@ -98,6 +99,27 @@ def rank_of(priority: str) -> int:
         raise ValueError(
             f"unknown priority {priority!r}; expected one of {PRIORITIES}"
         ) from None
+
+
+@dataclass(frozen=True)
+class BatchPlan:
+    """One adaptive continuous-batching decision.
+
+    Produced by :func:`repro.service.admission.plan_batch` as a pure
+    function of the queue's state at the start of a tick: ``size``
+    requests will be drained, out of ``depth`` queued, with
+    ``headroom_s`` of simulated slack between now and the tightest
+    deadline in the planned batch.  ``reason`` says which constraint
+    bound the decision: ``"depth"`` (queue shallower than the cap),
+    ``"max"`` (capped at ``batch_max``), or ``"headroom"`` (shrunk so
+    the most urgent request is not delayed past its deadline by the
+    batch it rides in).
+    """
+
+    size: int
+    depth: int
+    headroom_s: float
+    reason: str
 
 
 @dataclass(frozen=True)

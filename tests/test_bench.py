@@ -17,7 +17,11 @@ from repro.bench import BENCH_VERSION, GATED_COMPONENTS, compare
 
 
 def report(mode="quick", **gates):
-    return {"mode": mode, "gates": gates}
+    # Every synthetic report satisfies the absolute floors by default
+    # so the relative-gate tests stay focused on the ratio semantics.
+    base = {"batched_service_speedup": 1.4, "smo_speedup": 1.1}
+    base.update(gates)
+    return {"mode": mode, "gates": base}
 
 
 def test_equal_reports_pass():
@@ -126,10 +130,46 @@ def test_present_baseline_still_gates(monkeypatch, tmp_path):
     assert repro.bench.main(_main_args(compare=str(baseline))) == 1
 
 
-def test_gated_components_are_the_stable_big_ratios():
-    # smo (~1x) and batched_service (~1.1x) are informational: a 20%
-    # band around a ratio near 1 is noise, not signal
-    assert "smo" not in GATED_COMPONENTS
-    assert "batched_service" not in GATED_COMPONENTS
+def test_gated_components_include_the_service_and_smo_ratios():
+    # smo and batched_service graduated to gated once the harness was
+    # made fair (training hoisted out of the timed region, best-of-N
+    # repeats, per-served normalisation)
+    assert "smo" in GATED_COMPONENTS
+    assert "batched_service" in GATED_COMPONENTS
     assert "feature_matrix" in GATED_COMPONENTS
     assert "name_clustering" in GATED_COMPONENTS
+
+
+def test_batched_service_must_strictly_beat_unbatched():
+    baseline = report()
+    losing = report(batched_service_speedup=0.99)
+    failures = compare(losing, baseline)
+    assert any(
+        "batched_service_speedup" in f and "absolute floor" in f
+        for f in failures
+    )
+    # exactly 1.0 is not a win either: the floor is strict
+    at_par = report(batched_service_speedup=1.0)
+    assert any(
+        "batched_service_speedup" in f for f in compare(at_par, baseline)
+    )
+
+
+def test_smo_row_cache_must_not_lose():
+    baseline = report()
+    losing = report(smo_speedup=0.97)
+    failures = compare(losing, baseline)
+    assert any(
+        "smo_speedup" in f and "absolute floor" in f for f in failures
+    )
+    # >= 1.0 is acceptable for smo (it must not lose, par is fine)
+    at_par = report(smo_speedup=1.0)
+    assert not any("smo_speedup" in f for f in compare(at_par, baseline))
+
+
+def test_absolute_floor_fails_even_when_the_baseline_also_lost():
+    """A regressed baseline must not grandfather a losing fast path."""
+    both_losing_baseline = report(batched_service_speedup=0.9)
+    both_losing_current = report(batched_service_speedup=0.9)
+    failures = compare(both_losing_current, both_losing_baseline)
+    assert any("batched_service_speedup" in f for f in failures)
