@@ -358,6 +358,99 @@ def _bench_crawl_processes(
     }
 
 
+def _bench_store_ingest(n_rows: int, seed: int) -> dict[str, Any]:
+    """Analytics-store ingest + query throughput vs raw-artifact reparse.
+
+    The store's value proposition in numbers: ingest N synthetic
+    verdict rows once (rows/s recorded), then compute the operational
+    aggregates (SLO burn-down, rung mix, version mix) from SQL, against
+    the naive alternative a storeless report has — re-parse the JSONL
+    artifact and aggregate in Python on every query.  Not gated: both
+    sides are small at CI scale and sqlite cold-cache effects are
+    wall-clock noisy.
+    """
+    import tempfile
+
+    from repro.store import (
+        AnalyticsStore,
+        ingest_service_report,
+        rung_mix,
+        slo_burndown,
+        version_mix,
+    )
+
+    rnd = random.Random(seed)
+    outcomes = ("served", "served", "served", "overloaded", "deadline")
+    rungs = ("full", "lite", "cached", "stale", "advisory")
+    responses = []
+    for index in range(n_rows):
+        outcome = outcomes[rnd.randrange(len(outcomes))]
+        arrival = index * 0.25
+        responses.append({
+            "app_id": f"app{index % 97:05d}",
+            "outcome": outcome,
+            "rung": rungs[rnd.randrange(len(rungs))]
+            if outcome == "served" else "none",
+            "verdict": rnd.random() < 0.3 if outcome == "served" else None,
+            "risk_score": round(rnd.random() * 100.0, 3),
+            "confidence": "high", "priority": "interactive",
+            "reason": "", "advisories": [], "cache_state": "",
+            "arrival_s": arrival, "started_s": arrival + 0.5,
+            "finished_s": arrival + 1.5, "attempts": 1, "faults": 0,
+            "batch_size": 4, "model_version": index % 3,
+        })
+    text = "".join(
+        json.dumps(r, sort_keys=True) + "\n" for r in responses
+    )
+
+    def naive():
+        rows = [json.loads(line) for line in text.splitlines()]
+        t0 = min(r["arrival_s"] for r in rows)
+        windows: dict[int, list[int]] = {}
+        mix: dict[int, dict[str, int]] = {}
+        versions: dict[int, dict[str, int]] = {}
+        for row in rows:
+            window = int((row["finished_s"] - t0) / 60.0)
+            counts = windows.setdefault(window, [0, 0])
+            counts[0] += 1
+            served = row["outcome"] == "served"
+            counts[1] += served
+            if served:
+                per = mix.setdefault(window, {})
+                per[row["rung"]] = per.get(row["rung"], 0) + 1
+            per_version = versions.setdefault(row["model_version"], {})
+            per_version[row["outcome"]] = \
+                per_version.get(row["outcome"], 0) + 1
+        return windows, mix, versions
+
+    naive_s, _ = _time(naive, repeats=3)
+    with tempfile.TemporaryDirectory() as tmp:
+        store = AnalyticsStore(os.path.join(tmp, "bench.sqlite"))
+        try:
+            ingest_s, _ = _time(lambda: ingest_service_report(
+                store, {"responses": responses}, label="bench"
+            ))
+            fast_s, _ = _time(
+                lambda: (
+                    slo_burndown(store, window_s=60.0),
+                    rung_mix(store, window_s=60.0),
+                    version_mix(store),
+                ),
+                repeats=3,
+            )
+        finally:
+            store.close()
+    return {
+        "n_rows": n_rows,
+        "ingest_s": ingest_s,
+        "ingest_rows_per_s": n_rows / ingest_s,
+        "query_rows_per_s": n_rows / fast_s,
+        "naive_s": naive_s,
+        "fast_s": fast_s,
+        "speedup": naive_s / fast_s,
+    }
+
+
 # -- the harness -------------------------------------------------------------
 
 
@@ -394,6 +487,9 @@ def run_bench(mode: str = "quick", seed: int = 2012) -> dict[str, Any]:
         ),
         "crawl_processes": _bench_crawl_processes(
             n_apps=96 if full else 24, seed=seed
+        ),
+        "store_ingest": _bench_store_ingest(
+            n_rows=50_000 if full else 10_000, seed=seed
         ),
     }
     return {

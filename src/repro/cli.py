@@ -100,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
              "even when workers are killed mid-shard)",
     )
     parser.add_argument(
+        "--store", metavar="FILE", default=None,
+        help="sink this run's outputs (and, when instrumented, its "
+             "trace/metrics) into the fleet analytics store at FILE "
+             "(sqlite; created on first use, ingestion is idempotent)",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE", default=None,
         help="instrument the run and export the canonical trace (JSONL) "
              "to FILE; command outputs stay byte-identical",
@@ -197,6 +203,12 @@ def build_parser() -> argparse.ArgumentParser:
              "this many requests, batch growing with queue depth and "
              "shrinking when deadline headroom is tight (default 1 = "
              "the unbatched historical path)",
+    )
+    serve.add_argument(
+        "--snapshot-out", metavar="FILE", default=None,
+        help="write the run's JSON-round-trippable ServiceReport "
+             "snapshot to FILE (ingestable via 'repro ingest', "
+             "diffable across sessions)",
     )
     serve.add_argument(
         "--canary", choices=("good", "bad"), default=None,
@@ -311,6 +323,51 @@ def build_parser() -> argparse.ArgumentParser:
     export = sub.add_parser("export", help="export D-Sample to JSON")
     export.add_argument("output", help="output path (.json)")
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="ingest exported artifacts into the analytics store "
+             "(--store; idempotent, torn/corrupt inputs tolerated)",
+    )
+    ingest.add_argument(
+        "--trace", action="append", default=[], metavar="FILE",
+        help="trace JSONL export(s) written by --trace",
+    )
+    ingest.add_argument(
+        "--metrics", action="append", default=[], metavar="FILE",
+        help="metrics JSONL export(s) written by --metrics",
+    )
+    ingest.add_argument(
+        "--serve-snapshot", action="append", default=[], metavar="FILE",
+        help="ServiceReport snapshot JSON written by serve --snapshot-out",
+    )
+    ingest.add_argument(
+        "--monitor-history", action="append", default=[], metavar="DIR",
+        help="monitor history store directory (the monitor.jsonl WAL)",
+    )
+    ingest.add_argument(
+        "--incidents", action="append", default=[], metavar="FILE",
+        help="rollout-incident JSONL file(s)",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render the paper tables + operational views from the "
+             "analytics store (--store) instead of in-process objects",
+    )
+    report.add_argument(
+        "--paper-only", action="store_true",
+        help="emit only the paper tables, byte-identical to "
+             "'repro experiments' for the same stored run",
+    )
+    report.add_argument(
+        "--window", type=float, default=60.0, metavar="SECONDS",
+        help="simulated-clock window for temporal views (default 60)",
+    )
+    report.add_argument(
+        "--slo-target", type=float, default=0.99,
+        help="availability SLO target for the burn-down (default 0.99)",
+    )
+
     obs = sub.add_parser(
         "obs", help="replay an exported trace (causal tree or summary)"
     )
@@ -366,12 +423,39 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(args: argparse.Namespace, required: bool = False):
+    """The analytics store named by ``--store`` (None when absent)."""
+    path = getattr(args, "store", None)
+    if not path:
+        if required:
+            raise SystemExit(
+                "this command needs the analytics store: pass --store FILE "
+                "before the subcommand"
+            )
+        return None
+    from repro.store import AnalyticsStore
+
+    return AnalyticsStore(path)
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.experiments.runner import run_all
 
-    for report in run_all(args.scale, seed=args.seed):
+    reports = run_all(args.scale, seed=args.seed)
+    for report in reports:
         print(report.render())
         print()
+    store = _open_store(args)
+    if store is not None:
+        from repro.store import ingest_experiments
+
+        with store:
+            result = ingest_experiments(
+                store, reports,
+                label=f"experiments scale={args.scale} seed={args.seed}",
+            )
+        print(f"store:      {args.store} ({result.describe()})",
+              file=sys.stderr)
     return 0
 
 
@@ -512,11 +596,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({args.overload:.1f}x estimated capacity "
           f"{capacity:.3f} req/s), fault_rate={result.world.config.fault_rate}")
     print(report.summary())
-    if service.rollout is not None:
-        for incident in service.rollout.incidents:
-            print(f"rollback:    canary v{incident.canary_version} -> "
-                  f"champion v{incident.restored_version} restored "
-                  f"({incident.reason})")
+    incidents = (
+        list(service.rollout.incidents) if service.rollout is not None else []
+    )
+    for incident in incidents:
+        print(f"rollback:    canary v{incident.canary_version} -> "
+              f"champion v{incident.restored_version} restored "
+              f"({incident.reason})")
+    if args.snapshot_out or getattr(args, "store", None):
+        snapshot = report.snapshot()
+        snapshot["incidents"] = [inc.jsonable() for inc in incidents]
+        if args.snapshot_out:
+            import json
+
+            from repro.crawler.checkpoint import atomic_write
+
+            atomic_write(
+                args.snapshot_out,
+                json.dumps(snapshot, sort_keys=True, indent=2) + "\n",
+            )
+            print(f"snapshot:    {args.snapshot_out}", file=sys.stderr)
+        store = _open_store(args)
+        if store is not None:
+            from repro.store import ingest_service_report
+
+            with store:
+                result = ingest_service_report(
+                    store, snapshot,
+                    label=f"serve seed={args.seed} "
+                          f"overload={args.overload}",
+                )
+            print(f"store:       {args.store} ({result.describe()})",
+                  file=sys.stderr)
     return 0
 
 
@@ -694,6 +805,79 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     print(f"crawl time: {stats.elapsed_s / 3600:.1f} simulated hours "
           f"({stats.service_s / 3600:.1f}h service, "
           f"{stats.wait_s / 3600:.1f}h waiting)")
+    store = _open_store(args)
+    if store is not None:
+        if journal is None:
+            print(
+                "store:      --store needs the durable history: pass "
+                "--checkpoint DIR so there is a monitor.jsonl to ingest",
+                file=sys.stderr,
+            )
+        else:
+            from repro.store import ingest_monitor_history
+
+            with store:
+                ingested = ingest_monitor_history(
+                    store, config.checkpoint_dir,
+                    label=f"monitor seed={config.master_seed} "
+                          f"epochs={args.epochs}",
+                )
+            print(f"store:      {args.store} ({ingested.describe()})",
+                  file=sys.stderr)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Ingest exported artifacts into the analytics store (idempotent)."""
+    import json
+
+    from repro.store import (
+        ingest_incidents,
+        ingest_metrics,
+        ingest_monitor_history,
+        ingest_service_report,
+        ingest_trace,
+    )
+
+    store = _open_store(args, required=True)
+    results = []
+    with store:
+        for path in args.trace:
+            results.append(ingest_trace(store, path))
+        for path in args.metrics:
+            results.append(ingest_metrics(store, path))
+        for path in args.serve_snapshot:
+            with open(path, encoding="utf-8") as handle:
+                snapshot = json.load(handle)
+            results.append(
+                ingest_service_report(store, snapshot, label=str(path))
+            )
+        for directory in args.monitor_history:
+            results.append(ingest_monitor_history(store, directory))
+        for path in args.incidents:
+            results.append(ingest_incidents(store, path))
+    if not results:
+        print("nothing to ingest: pass --trace/--metrics/--serve-snapshot/"
+              "--monitor-history/--incidents", file=sys.stderr)
+        return 1
+    for result in results:
+        print(result.describe())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the paper tables + operational views from stored data."""
+    from repro.store import render_report
+
+    store = _open_store(args, required=True)
+    with store:
+        output = render_report(
+            store,
+            paper_only=args.paper_only,
+            window_s=args.window,
+            slo_target=args.slo_target,
+        )
+    sys.stdout.write(output)
     return 0
 
 
@@ -741,7 +925,13 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "export": _cmd_export,
     "obs": _cmd_obs,
+    "ingest": _cmd_ingest,
+    "report": _cmd_report,
 }
+
+#: commands that only read or move artifacts — instrumenting them
+#: would sink their own (empty) observation into the store as noise
+_UNOBSERVED = ("obs", "ingest", "report", "bench")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -750,15 +940,18 @@ def main(argv: list[str] | None = None) -> int:
         getattr(args, "trace", None)
         or getattr(args, "metrics", None)
         or getattr(args, "profile", False)
+        or getattr(args, "store", None)
     )
-    if not wants_obs or args.command == "obs":
+    # `ingest --trace FILE` names an input artifact, not instrumentation.
+    if not wants_obs or args.command in _UNOBSERVED:
         return _COMMANDS[args.command](args)
 
     from pathlib import Path
 
-    from repro.obs import TracingObserver, observation
+    from repro.obs import observation
+    from repro.store import StoreSink
 
-    observer = TracingObserver()
+    observer = StoreSink()
     with observation(observer):
         code = _COMMANDS[args.command](args)
     if args.trace:
@@ -773,6 +966,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"metrics:    {jsonl} + {prom}", file=sys.stderr)
     if args.profile:
         print(observer.profiler.render(), file=sys.stderr)
+    if args.store:
+        from repro.store import AnalyticsStore
+
+        with AnalyticsStore(args.store) as store:
+            for result in observer.flush(
+                store, label=f"{args.command} seed={args.seed}"
+            ):
+                print(f"store:      {args.store} ({result.describe()})",
+                      file=sys.stderr)
     return code
 
 

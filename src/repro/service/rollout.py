@@ -148,6 +148,17 @@ class RolloutIncident:
     disagreements: int
     canary_scored: int
 
+    def jsonable(self) -> dict:
+        """The incident as analytics-store / JSONL-export material."""
+        return {
+            "t": float(self.t),
+            "canary_version": int(self.canary_version),
+            "restored_version": int(self.restored_version),
+            "reason": str(self.reason),
+            "disagreements": int(self.disagreements),
+            "canary_scored": int(self.canary_scored),
+        }
+
 
 @dataclass
 class CanaryStats:

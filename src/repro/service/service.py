@@ -80,6 +80,28 @@ __all__ = ["VerdictService", "ServiceReport", "make_service"]
 _TIER_RUNG = {"frappe": RUNG_FULL, "lite": RUNG_LITE}
 
 
+def _jsonable(value: Any) -> Any:
+    """Coerce snapshot material to plain JSON-round-trippable types.
+
+    Tuples/sets become sorted-or-ordered lists, numpy scalars become
+    Python numbers, dict keys become strings — so ``json.loads(
+    json.dumps(x))`` is an identity on the result.
+    """
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(str(item) for item in value)
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int) or hasattr(value, "__index__"):
+        return int(value)
+    if isinstance(value, float) or hasattr(value, "__float__"):
+        return float(value)
+    return str(value)
+
+
 @dataclass
 class ServiceReport:
     """Everything one :meth:`VerdictService.serve` run produced."""
@@ -167,6 +189,94 @@ class ServiceReport:
             1 for response in self.responses if response.outcome == SERVED
         )
         return served / self.elapsed_s
+
+    # -- persistence -------------------------------------------------------
+
+    #: response fields persisted by :meth:`snapshot`; ``record`` is
+    #: deliberately absent — a live CrawlRecord is not JSON material,
+    #: and nothing in :meth:`summary` reads it
+    _RESPONSE_FIELDS = (
+        "app_id", "outcome", "rung", "verdict", "risk_score", "confidence",
+        "priority", "reason", "advisories", "cache_state", "arrival_s",
+        "started_s", "finished_s", "attempts", "faults", "batch_size",
+        "model_version",
+    )
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-round-trippable image of the whole run.
+
+        ``ServiceReport.from_snapshot(json.loads(json.dumps(s)))`` must
+        reproduce :meth:`summary` byte-for-byte, so serve runs can be
+        persisted (``repro serve --store`` / ``--snapshot-out``) and
+        diffed across sessions.  All numerics are coerced to plain
+        Python types — a numpy scalar reaching ``json.dumps`` is a
+        ``TypeError``, and a margin-derived float must not silently
+        change width through the store.
+        """
+        responses = []
+        for response in self.responses:
+            row: dict[str, Any] = {}
+            for name in self._RESPONSE_FIELDS:
+                value = getattr(response, name)
+                if name == "verdict":
+                    value = None if value is None else bool(value)
+                elif name == "advisories":
+                    value = [str(item) for item in value]
+                elif name in ("attempts", "faults", "batch_size",
+                              "model_version"):
+                    value = int(value)
+                elif not isinstance(value, str):
+                    value = float(value)
+                row[name] = value
+            responses.append(row)
+        return {
+            "responses": responses,
+            "offered": {str(k): int(v) for k, v in self.offered.items()},
+            "shed": {str(k): int(v) for k, v in self.shed.items()},
+            "max_queue_depth": int(self.max_queue_depth),
+            "queue_bound": int(self.queue_bound),
+            "refreshes_done": int(self.refreshes_done),
+            "refreshes_shed": int(self.refreshes_shed),
+            "refreshes_expired": int(self.refreshes_expired),
+            "cache_hits_fresh": int(self.cache_hits_fresh),
+            "cache_hits_stale": int(self.cache_hits_stale),
+            "cache_misses": int(self.cache_misses),
+            "elapsed_s": float(self.elapsed_s),
+            "idle_s": float(self.idle_s),
+            "transport": _jsonable(self.transport),
+            "rollout": _jsonable(self.rollout),
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict[str, Any]) -> "ServiceReport":
+        """Rebuild a report (minus live records) from :meth:`snapshot`."""
+        responses = [
+            VerdictResponse(**{
+                name: (
+                    list(row.get(name, [])) if name == "advisories"
+                    else row[name]
+                )
+                for name in cls._RESPONSE_FIELDS
+            })
+            for row in data.get("responses", [])
+        ]
+        return cls(
+            responses=responses,
+            offered=dict(data.get("offered", {})),
+            shed=dict(data.get("shed", {})),
+            max_queue_depth=int(data.get("max_queue_depth", 0)),
+            queue_bound=int(data.get("queue_bound", 0)),
+            refreshes_done=int(data.get("refreshes_done", 0)),
+            refreshes_shed=int(data.get("refreshes_shed", 0)),
+            refreshes_expired=int(data.get("refreshes_expired", 0)),
+            cache_hits_fresh=int(data.get("cache_hits_fresh", 0)),
+            cache_hits_stale=int(data.get("cache_hits_stale", 0)),
+            cache_misses=int(data.get("cache_misses", 0)),
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            idle_s=float(data.get("idle_s", 0.0)),
+            transport=dict(data.get("transport", {})),
+            rollout=dict(data.get("rollout", {})),
+        )
 
     def summary(self) -> str:
         outcome = self.outcome_counts()

@@ -1,0 +1,82 @@
+"""``repro.store``: the fleet analytics store.
+
+Every other subsystem in this codebase produces operational evidence —
+tracer spans, metrics snapshots, verdict histories, monitor epochs,
+forensic events, rollout incidents — and until now all of it evaporated
+when the process exited.  This package is the durable side: a sqlite
+store with
+
+* **sinks** (:mod:`repro.store.ingest`) — an ``Observer``-compatible
+  :class:`StoreSink` plus idempotent ingesters for every export the
+  system writes,
+* a **query layer** (:mod:`repro.store.queries`) — typed temporal
+  aggregates windowed by the simulated clock,
+* a **report renderer** (:mod:`repro.store.reporting`) — the paper's
+  tables byte-identical to the in-process run, plus the operational
+  views, all computed from stored data.
+"""
+
+from repro.store.db import SCHEMA_VERSION, AnalyticsStore
+from repro.store.ingest import (
+    IngestResult,
+    StoreSink,
+    ingest_experiments,
+    ingest_incidents,
+    ingest_metrics,
+    ingest_metrics_text,
+    ingest_monitor_history,
+    ingest_service_report,
+    ingest_trace,
+    ingest_trace_text,
+    read_jsonl_tolerant,
+)
+from repro.store.queries import (
+    EpochEvolution,
+    IngestRow,
+    RungWindow,
+    SloWindow,
+    TimelineRow,
+    VersionMix,
+    appnet_evolution,
+    campaign_timeline,
+    census,
+    rung_mix,
+    slo_burndown,
+    version_mix,
+)
+from repro.store.reporting import (
+    render_operational_views,
+    render_paper_tables,
+    render_report,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AnalyticsStore",
+    "IngestResult",
+    "StoreSink",
+    "ingest_experiments",
+    "ingest_incidents",
+    "ingest_metrics",
+    "ingest_metrics_text",
+    "ingest_monitor_history",
+    "ingest_service_report",
+    "ingest_trace",
+    "ingest_trace_text",
+    "read_jsonl_tolerant",
+    "EpochEvolution",
+    "IngestRow",
+    "RungWindow",
+    "SloWindow",
+    "TimelineRow",
+    "VersionMix",
+    "appnet_evolution",
+    "campaign_timeline",
+    "census",
+    "rung_mix",
+    "slo_burndown",
+    "version_mix",
+    "render_operational_views",
+    "render_paper_tables",
+    "render_report",
+]

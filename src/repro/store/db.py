@@ -1,0 +1,352 @@
+"""The sqlite analytics store: schema, durability, determinism.
+
+Why sqlite
+----------
+The store must survive process death mid-ingest (the same contract the
+crawl WAL honours), admit a reader while a sink appends, and stay
+byte-stable under re-ingestion.  sqlite in WAL journal mode gives all
+three natively: transactions are atomic across a SIGKILL, WAL readers
+see the last committed snapshot while a writer holds its transaction,
+and — because sqlite's page allocation is a pure function of the
+operation sequence — two stores built by the same ingest sequence are
+byte-identical files.
+
+Determinism contract
+--------------------
+* **Fresh builds are byte-deterministic.**  Ingesting the same inputs
+  in the same order into a fresh store always produces the same file
+  bytes (``tests/test_store.py`` asserts the file sha256).
+* **Re-ingestion changes zero bytes.**  Every ingest is keyed by the
+  sha256 of its (cleaned) content; a duplicate is detected *before any
+  write transaction begins*, so re-running an ingest over an existing
+  store leaves the file untouched.
+* **Logical canonical form.**  After a crash *recovery* the physical
+  page layout may legitimately differ from an uninterrupted build, so
+  the cross-crash identity contract lives one level up:
+  :meth:`AnalyticsStore.canonical_bytes` dumps every table in a
+  canonical order and is byte-identical wherever the logical content
+  is — the analogue of comparing journal *records*, not journal files.
+
+Every row belongs to exactly one **ingest** (one artifact: a trace
+export, a serve snapshot, a monitor history, …), stamped with the
+store ``schema_version`` current at write time, so a reader can always
+tell which schema era produced which rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = ["SCHEMA_VERSION", "AnalyticsStore", "StoreSchemaError"]
+
+#: bump on any table/column change; stamped into ``meta`` at creation
+#: and onto every ingest row at write time
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta(
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS ingests(
+    id             INTEGER PRIMARY KEY,
+    kind           TEXT NOT NULL,
+    label          TEXT NOT NULL,
+    content_sha256 TEXT NOT NULL,
+    schema_version INTEGER NOT NULL,
+    n_rows         INTEGER NOT NULL,
+    UNIQUE(kind, content_sha256)
+);
+CREATE TABLE IF NOT EXISTS spans(
+    ingest_id  INTEGER NOT NULL,
+    ord        INTEGER NOT NULL,
+    root_ord   INTEGER NOT NULL,
+    parent_ord INTEGER,
+    depth      INTEGER NOT NULL,
+    category   TEXT NOT NULL,
+    key        TEXT NOT NULL,
+    name       TEXT NOT NULL,
+    t_start    REAL NOT NULL,
+    t_end      REAL NOT NULL,
+    attrs      TEXT NOT NULL,
+    PRIMARY KEY(ingest_id, ord)
+);
+CREATE TABLE IF NOT EXISTS span_events(
+    ingest_id INTEGER NOT NULL,
+    span_ord  INTEGER NOT NULL,
+    ord       INTEGER NOT NULL,
+    name      TEXT NOT NULL,
+    t         REAL NOT NULL,
+    attrs     TEXT NOT NULL,
+    PRIMARY KEY(ingest_id, span_ord, ord)
+);
+CREATE TABLE IF NOT EXISTS metrics(
+    ingest_id INTEGER NOT NULL,
+    ord       INTEGER NOT NULL,
+    type      TEXT NOT NULL,
+    name      TEXT NOT NULL,
+    labels    TEXT NOT NULL,
+    value     REAL,
+    sum       REAL,
+    count     INTEGER,
+    edges     TEXT,
+    counts    TEXT,
+    PRIMARY KEY(ingest_id, ord)
+);
+CREATE TABLE IF NOT EXISTS experiments(
+    ingest_id     INTEGER NOT NULL,
+    ord           INTEGER NOT NULL,
+    experiment_id TEXT NOT NULL,
+    title         TEXT NOT NULL,
+    notes         TEXT NOT NULL,
+    rows          TEXT NOT NULL,
+    PRIMARY KEY(ingest_id, ord)
+);
+CREATE TABLE IF NOT EXISTS serve_runs(
+    ingest_id INTEGER PRIMARY KEY,
+    snapshot  TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS verdicts(
+    ingest_id     INTEGER NOT NULL,
+    ord           INTEGER NOT NULL,
+    app_id        TEXT NOT NULL,
+    outcome       TEXT NOT NULL,
+    rung          TEXT NOT NULL,
+    verdict       INTEGER,
+    risk_score    REAL NOT NULL,
+    confidence    TEXT NOT NULL,
+    priority      TEXT NOT NULL,
+    cache_state   TEXT NOT NULL,
+    reason        TEXT NOT NULL,
+    arrival_s     REAL NOT NULL,
+    started_s     REAL NOT NULL,
+    finished_s    REAL NOT NULL,
+    attempts      INTEGER NOT NULL,
+    faults        INTEGER NOT NULL,
+    batch_size    INTEGER NOT NULL,
+    model_version INTEGER NOT NULL,
+    PRIMARY KEY(ingest_id, ord)
+);
+CREATE TABLE IF NOT EXISTS rollout_incidents(
+    ingest_id        INTEGER NOT NULL,
+    ord              INTEGER NOT NULL,
+    t                REAL NOT NULL,
+    canary_version   INTEGER NOT NULL,
+    restored_version INTEGER NOT NULL,
+    reason           TEXT NOT NULL,
+    disagreements    INTEGER NOT NULL,
+    canary_scored    INTEGER NOT NULL,
+    PRIMARY KEY(ingest_id, ord)
+);
+CREATE TABLE IF NOT EXISTS observations(
+    ingest_id  INTEGER NOT NULL,
+    ord        INTEGER NOT NULL,
+    epoch      INTEGER NOT NULL,
+    app_id     TEXT NOT NULL,
+    summary_ok INTEGER NOT NULL,
+    n_events   INTEGER NOT NULL,
+    record     TEXT NOT NULL,
+    PRIMARY KEY(ingest_id, ord)
+);
+CREATE TABLE IF NOT EXISTS forensic_events(
+    ingest_id INTEGER NOT NULL,
+    ord       INTEGER NOT NULL,
+    epoch     INTEGER NOT NULL,
+    app_id    TEXT NOT NULL,
+    kind      TEXT NOT NULL,
+    detail    TEXT NOT NULL,
+    PRIMARY KEY(ingest_id, ord)
+);
+"""
+
+#: canonical dump order: every data table, name-ascending, rows by PK
+_DUMP_TABLES = (
+    ("ingests", "id"),
+    ("experiments", "ingest_id, ord"),
+    ("forensic_events", "ingest_id, ord"),
+    ("metrics", "ingest_id, ord"),
+    ("observations", "ingest_id, ord"),
+    ("rollout_incidents", "ingest_id, ord"),
+    ("serve_runs", "ingest_id"),
+    ("span_events", "ingest_id, span_ord, ord"),
+    ("spans", "ingest_id, ord"),
+    ("verdicts", "ingest_id, ord"),
+)
+
+
+class StoreSchemaError(RuntimeError):
+    """The store on disk was written by an incompatible schema era."""
+
+
+def content_sha256(data: str | bytes) -> str:
+    """The idempotency key of one ingest artifact."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_json(value: Any) -> str:
+    """The one JSON spelling used everywhere in the store."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+class AnalyticsStore:
+    """One sqlite analytics database (see module docstring).
+
+    ``readonly=True`` opens an existing store without write access —
+    the mode the concurrent-reader tests (and dashboards) use while a
+    sink is appending in another connection or process.
+    """
+
+    def __init__(self, path: str | Path, readonly: bool = False) -> None:
+        self.path = Path(path)
+        self.readonly = readonly
+        if readonly:
+            if not self.path.exists():
+                raise FileNotFoundError(f"no analytics store at {self.path}")
+            self._con = sqlite3.connect(
+                f"file:{self.path}?mode=ro", uri=True
+            )
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._con = sqlite3.connect(self.path)
+        if not readonly:
+            # Journal mode is a property of the database file; a
+            # read-only connection inherits it and must not set it.
+            self._con.execute("PRAGMA journal_mode=WAL")
+            # Same durability stance as the crawl WAL: a committed
+            # transaction has been fsynced before control returns.
+            self._con.execute("PRAGMA synchronous=FULL")
+            self._init_schema()
+        self._check_schema()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _init_schema(self) -> None:
+        with self._con:
+            self._con.executescript(_SCHEMA)
+            self._con.execute(
+                "INSERT OR IGNORE INTO meta(key, value) VALUES(?, ?)",
+                ("schema_version", str(SCHEMA_VERSION)),
+            )
+
+    def _check_schema(self) -> None:
+        try:
+            row = self._con.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+        except sqlite3.OperationalError as exc:
+            raise StoreSchemaError(
+                f"{self.path} is not an analytics store: {exc}"
+            ) from None
+        if row is None or int(row[0]) > SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"{self.path} was written by schema era "
+                f"{row[0] if row else '?'}; this build reads <= "
+                f"{SCHEMA_VERSION}"
+            )
+
+    def close(self) -> None:
+        if self._con is None:
+            return
+        if not self.readonly:
+            # Fold the WAL back into the main file so the store is one
+            # self-contained artifact (and byte-comparable) at rest.
+            try:
+                self._con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+            except sqlite3.OperationalError:  # pragma: no cover - racy
+                pass
+        self._con.close()
+        self._con = None
+
+    def __enter__(self) -> "AnalyticsStore":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- writing -----------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator[sqlite3.Connection]:
+        """One atomic write unit (BEGIN IMMEDIATE … COMMIT/ROLLBACK)."""
+        if self.readonly:
+            raise StoreSchemaError(f"{self.path} was opened read-only")
+        self._con.execute("BEGIN IMMEDIATE")
+        try:
+            yield self._con
+        except BaseException:
+            self._con.rollback()
+            raise
+        self._con.commit()
+
+    def find_ingest(self, kind: str, sha: str) -> int | None:
+        """The existing ingest id for this content, or None.
+
+        The duplicate check happens *here*, before any write
+        transaction opens — a skipped re-ingest must not touch the
+        file at all.
+        """
+        row = self._con.execute(
+            "SELECT id FROM ingests WHERE kind = ? AND content_sha256 = ?",
+            (kind, sha),
+        ).fetchone()
+        return None if row is None else int(row[0])
+
+    def register_ingest(
+        self, con: sqlite3.Connection, kind: str, label: str,
+        sha: str, n_rows: int,
+    ) -> int:
+        """Insert the ingest row inside an open transaction."""
+        cursor = con.execute(
+            "INSERT INTO ingests(kind, label, content_sha256, "
+            "schema_version, n_rows) VALUES(?, ?, ?, ?, ?)",
+            (kind, label, sha, SCHEMA_VERSION, n_rows),
+        )
+        return int(cursor.lastrowid)
+
+    # -- reading -----------------------------------------------------------
+
+    def query(self, sql: str, params: tuple = ()) -> list[tuple]:
+        return self._con.execute(sql, params).fetchall()
+
+    def schema_version(self) -> int:
+        row = self._con.execute(
+            "SELECT value FROM meta WHERE key = 'schema_version'"
+        ).fetchone()
+        return int(row[0])
+
+    def latest_ingest(self, kind: str) -> int | None:
+        """The most recent ingest id of *kind* (None when absent)."""
+        row = self._con.execute(
+            "SELECT max(id) FROM ingests WHERE kind = ?", (kind,)
+        ).fetchone()
+        return None if row[0] is None else int(row[0])
+
+    def canonical_bytes(self) -> bytes:
+        """The store's logical content in one canonical byte string.
+
+        Tables in fixed order, rows in primary-key order, each row one
+        canonical JSON line — byte-identical wherever the logical
+        content is, independent of sqlite's physical page layout.
+        """
+        lines: list[str] = [canonical_json(
+            {"meta": {"schema_version": self.schema_version()}}
+        )]
+        for table, order in _DUMP_TABLES:
+            columns = [
+                str(row[1]) for row in
+                self._con.execute(f"PRAGMA table_info({table})")
+            ]
+            for row in self._con.execute(
+                f"SELECT * FROM {table} ORDER BY {order}"  # noqa: S608
+            ):
+                lines.append(canonical_json(
+                    {"table": table, "row": dict(zip(columns, row))}
+                ))
+        return "".join(line + "\n" for line in lines).encode("utf-8")

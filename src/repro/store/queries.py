@@ -1,0 +1,278 @@
+"""Typed temporal queries over the analytics store.
+
+Every function takes an :class:`~repro.store.db.AnalyticsStore`, runs
+deterministically ordered SQL, and returns typed rows — the analytics
+analogue of the in-process derived views (``ServiceReport`` tallies,
+``MonitorReport`` censuses) but computed over *stored* history, across
+any number of runs and sessions.
+
+Time windows are windows of the **simulated clock** (the only clock
+that ever reaches the store — see the observability determinism
+contract), bucketed from the earliest arrival in the data, so the same
+stored history always yields the same windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.store.db import AnalyticsStore
+
+__all__ = [
+    "IngestRow",
+    "SloWindow",
+    "RungWindow",
+    "VersionMix",
+    "EpochEvolution",
+    "TimelineRow",
+    "census",
+    "slo_burndown",
+    "rung_mix",
+    "version_mix",
+    "appnet_evolution",
+    "campaign_timeline",
+]
+
+
+@dataclass(frozen=True)
+class IngestRow:
+    """One artifact the store holds."""
+
+    ingest_id: int
+    kind: str
+    label: str
+    schema_version: int
+    rows: int
+
+
+def census(store: AnalyticsStore) -> list[IngestRow]:
+    """Everything ingested, oldest first."""
+    return [
+        IngestRow(int(i), str(k), str(label), int(v), int(n))
+        for i, k, label, v, n in store.query(
+            "SELECT id, kind, label, schema_version, n_rows "
+            "FROM ingests ORDER BY id"
+        )
+    ]
+
+
+# -- serving: SLO burn-down and degradation mix ------------------------------
+
+
+@dataclass(frozen=True)
+class SloWindow:
+    """One simulated-clock window of the availability SLO burn-down.
+
+    The SLO is availability-shaped: a request counts against the error
+    budget when it was *not* served (shed at admission or expired in
+    queue).  ``budget_spent`` is the cumulative fraction of the whole
+    history's error budget consumed by the end of this window — the
+    burn-down curve an on-call dashboard plots.
+    """
+
+    window: int
+    start_s: float
+    end_s: float
+    requests: int
+    served: int
+    violations: int
+    budget_spent: float
+
+
+def slo_burndown(
+    store: AnalyticsStore, window_s: float = 60.0, target: float = 0.99
+) -> list[SloWindow]:
+    """Availability burn-down over all stored verdicts, per window."""
+    if not 0.0 < target < 1.0:
+        raise ValueError(f"target must be in (0, 1), got {target}")
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    bounds = store.query(
+        "SELECT min(arrival_s), count(*) FROM verdicts"
+    )[0]
+    if not bounds[1]:
+        return []
+    t0, total = float(bounds[0]), int(bounds[1])
+    budget = max(1.0, (1.0 - target) * total)
+    rows = store.query(
+        "SELECT cast((finished_s - ?) / ? AS INTEGER) AS w, "
+        "count(*), sum(outcome = 'served') "
+        "FROM verdicts GROUP BY w ORDER BY w",
+        (t0, window_s),
+    )
+    out: list[SloWindow] = []
+    spent = 0
+    for window, requests, served in rows:
+        window, requests = int(window), int(requests)
+        served = int(served or 0)
+        spent += requests - served
+        out.append(SloWindow(
+            window=window,
+            start_s=t0 + window * window_s,
+            end_s=t0 + (window + 1) * window_s,
+            requests=requests,
+            served=served,
+            violations=requests - served,
+            budget_spent=spent / budget,
+        ))
+    return out
+
+
+@dataclass(frozen=True)
+class RungWindow:
+    """Degradation-rung mix of served verdicts in one clock window."""
+
+    window: int
+    start_s: float
+    end_s: float
+    rungs: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def served(self) -> int:
+        return sum(self.rungs.values())
+
+
+def rung_mix(store: AnalyticsStore, window_s: float = 60.0) -> list[RungWindow]:
+    """Which ladder rung answered, per simulated-clock window."""
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    bounds = store.query(
+        "SELECT min(arrival_s), count(*) FROM verdicts "
+        "WHERE outcome = 'served'"
+    )[0]
+    if not bounds[1]:
+        return []
+    t0 = float(bounds[0])
+    rows = store.query(
+        "SELECT cast((finished_s - ?) / ? AS INTEGER) AS w, rung, count(*) "
+        "FROM verdicts WHERE outcome = 'served' "
+        "GROUP BY w, rung ORDER BY w, rung",
+        (t0, window_s),
+    )
+    windows: dict[int, dict[str, int]] = {}
+    for window, rung, count in rows:
+        windows.setdefault(int(window), {})[str(rung)] = int(count)
+    return [
+        RungWindow(
+            window=window,
+            start_s=t0 + window * window_s,
+            end_s=t0 + (window + 1) * window_s,
+            rungs=rungs,
+        )
+        for window, rungs in sorted(windows.items())
+    ]
+
+
+@dataclass(frozen=True)
+class VersionMix:
+    """Outcome and rung tallies of one served model version."""
+
+    model_version: int
+    outcomes: dict[str, int] = field(default_factory=dict)
+    rungs: dict[str, int] = field(default_factory=dict)
+
+
+def version_mix(store: AnalyticsStore) -> list[VersionMix]:
+    """Per-model-version served/rung mix across all stored serve runs."""
+    outcome_rows = store.query(
+        "SELECT model_version, outcome, count(*) FROM verdicts "
+        "GROUP BY model_version, outcome ORDER BY model_version, outcome"
+    )
+    rung_rows = store.query(
+        "SELECT model_version, rung, count(*) FROM verdicts "
+        "WHERE outcome = 'served' "
+        "GROUP BY model_version, rung ORDER BY model_version, rung"
+    )
+    outcomes: dict[int, dict[str, int]] = {}
+    for version, outcome, count in outcome_rows:
+        outcomes.setdefault(int(version), {})[str(outcome)] = int(count)
+    rungs: dict[int, dict[str, int]] = {}
+    for version, rung, count in rung_rows:
+        rungs.setdefault(int(version), {})[str(rung)] = int(count)
+    return [
+        VersionMix(
+            model_version=version,
+            outcomes=outcomes[version],
+            rungs=rungs.get(version, {}),
+        )
+        for version in sorted(outcomes)
+    ]
+
+
+# -- monitoring: AppNet evolution and campaign timelines ---------------------
+
+
+@dataclass(frozen=True)
+class EpochEvolution:
+    """One monitoring epoch's census: the AppNet evolving over time."""
+
+    epoch: int
+    observed: int
+    alive: int
+    #: apps whose durable history records a deletion at or before here
+    deleted_cumulative: int
+    events: dict[str, int] = field(default_factory=dict)
+
+
+def appnet_evolution(store: AnalyticsStore) -> list[EpochEvolution]:
+    """Per-epoch app census over all stored monitor histories.
+
+    The longitudinal view the paper's dataset never had (and Kagan et
+    al.'s temporal analysis is built on): how many monitored apps were
+    still alive, and what the forensic detectors saw, epoch by epoch.
+    """
+    observation_rows = store.query(
+        "SELECT epoch, count(*), sum(summary_ok) FROM observations "
+        "GROUP BY epoch ORDER BY epoch"
+    )
+    event_rows = store.query(
+        "SELECT epoch, kind, count(*) FROM forensic_events "
+        "GROUP BY epoch, kind ORDER BY epoch, kind"
+    )
+    events: dict[int, dict[str, int]] = {}
+    for epoch, kind, count in event_rows:
+        events.setdefault(int(epoch), {})[str(kind)] = int(count)
+    out: list[EpochEvolution] = []
+    deleted = 0
+    for epoch, observed, alive in observation_rows:
+        epoch = int(epoch)
+        deleted += events.get(epoch, {}).get("deletion", 0)
+        out.append(EpochEvolution(
+            epoch=epoch,
+            observed=int(observed),
+            alive=int(alive or 0),
+            deleted_cumulative=deleted,
+            events=events.get(epoch, {}),
+        ))
+    return out
+
+
+@dataclass(frozen=True)
+class TimelineRow:
+    """One (epoch, event-kind) step of the campaign timeline."""
+
+    epoch: int
+    kind: str
+    count: int
+    #: affected apps, canonically ordered (truncated views slice this)
+    apps: tuple[str, ...] = ()
+
+
+def campaign_timeline(store: AnalyticsStore) -> list[TimelineRow]:
+    """Forensic events as a timeline: what changed, when, to which apps.
+
+    Coordinated campaign moves (mass deletions after a crackdown,
+    permission-grab waves) show up as same-epoch same-kind clusters.
+    """
+    rows = store.query(
+        "SELECT epoch, kind, app_id FROM forensic_events "
+        "ORDER BY epoch, kind, app_id"
+    )
+    grouped: dict[tuple[int, str], list[str]] = {}
+    for epoch, kind, app_id in rows:
+        grouped.setdefault((int(epoch), str(kind)), []).append(str(app_id))
+    return [
+        TimelineRow(epoch=epoch, kind=kind, count=len(apps),
+                    apps=tuple(apps))
+        for (epoch, kind), apps in sorted(grouped.items())
+    ]

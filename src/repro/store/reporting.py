@@ -1,0 +1,205 @@
+"""``repro report``: the paper's evaluation plus operational views,
+rendered from stored data.
+
+The paper-table section must be **byte-identical** to what the
+in-process run (``repro experiments``) prints for the same seed: the
+store holds the measured rows, the rendering goes through the same
+:class:`~repro.analysis.report.ExperimentReport`, and a CI job diffs
+the two outputs.  The operational sections are the new capability —
+temporal views no single in-process object ever held, computed by
+:mod:`repro.store.queries` over everything the store has ingested.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.report import ExperimentReport, render_table
+from repro.store.db import AnalyticsStore
+from repro.store.queries import (
+    appnet_evolution,
+    campaign_timeline,
+    census,
+    rung_mix,
+    slo_burndown,
+    version_mix,
+)
+
+__all__ = [
+    "stored_experiment_reports",
+    "render_paper_tables",
+    "render_operational_views",
+    "render_report",
+]
+
+
+def stored_experiment_reports(store: AnalyticsStore) -> list[ExperimentReport]:
+    """Rebuild the latest stored experiment run's reports."""
+    ingest_id = store.latest_ingest("experiments")
+    if ingest_id is None:
+        return []
+    reports = []
+    for experiment_id, title, notes, rows in store.query(
+        "SELECT experiment_id, title, notes, rows FROM experiments "
+        "WHERE ingest_id = ? ORDER BY ord", (ingest_id,)
+    ):
+        report = ExperimentReport(
+            experiment_id=str(experiment_id), title=str(title),
+            notes=str(notes),
+        )
+        report.rows = [tuple(row) for row in json.loads(rows)]
+        reports.append(report)
+    return reports
+
+
+def render_paper_tables(store: AnalyticsStore) -> str:
+    """Exactly the bytes ``repro experiments`` prints for the same run."""
+    return "".join(
+        report.render() + "\n\n" for report in stored_experiment_reports(store)
+    )
+
+
+def _fmt_span(start_s: float, end_s: float) -> str:
+    return f"[{start_s:.0f}s, {end_s:.0f}s)"
+
+
+def render_operational_views(
+    store: AnalyticsStore,
+    window_s: float = 60.0,
+    slo_target: float = 0.99,
+) -> str:
+    """The fleet views: census, SLO burn-down, rung/version mixes,
+    AppNet evolution, campaign timelines — only sections with data."""
+    sections: list[str] = []
+
+    rows = census(store)
+    sections.append("== store census ==")
+    sections.append(f"schema_version: {store.schema_version()}")
+    if rows:
+        sections.append(render_table(
+            ["ingest", "kind", "label", "rows"],
+            [(r.ingest_id, r.kind, r.label, r.rows) for r in rows],
+        ))
+    else:
+        sections.append("(empty store)")
+
+    burndown = slo_burndown(store, window_s=window_s, target=slo_target)
+    if burndown:
+        sections.append(
+            f"== SLO burn-down (availability target {slo_target:.1%}, "
+            f"{window_s:.0f}s windows, simulated clock) =="
+        )
+        sections.append(render_table(
+            ["window", "span", "requests", "served", "violations",
+             "budget spent"],
+            [
+                (w.window, _fmt_span(w.start_s, w.end_s), w.requests,
+                 w.served, w.violations, f"{w.budget_spent:.1%}")
+                for w in burndown
+            ],
+        ))
+
+    mix = rung_mix(store, window_s=window_s)
+    if mix:
+        rung_names = sorted({rung for w in mix for rung in w.rungs})
+        sections.append(
+            f"== degradation-rung mix ({window_s:.0f}s windows) =="
+        )
+        sections.append(render_table(
+            ["window", "span", "served"] + rung_names,
+            [
+                (w.window, _fmt_span(w.start_s, w.end_s), w.served,
+                 *(w.rungs.get(rung, 0) for rung in rung_names))
+                for w in mix
+            ],
+        ))
+
+    versions = version_mix(store)
+    if versions:
+        sections.append("== model-version served/rung mix ==")
+        sections.append(render_table(
+            ["version", "served", "overloaded", "deadline", "rungs"],
+            [
+                (
+                    f"v{v.model_version}",
+                    v.outcomes.get("served", 0),
+                    v.outcomes.get("overloaded", 0),
+                    v.outcomes.get("deadline", 0),
+                    ", ".join(
+                        f"{rung}={count}"
+                        for rung, count in sorted(v.rungs.items())
+                    ) or "-",
+                )
+                for v in versions
+            ],
+        ))
+
+    incidents = store.query(
+        "SELECT ingest_id, t, canary_version, restored_version, reason "
+        "FROM rollout_incidents ORDER BY ingest_id, ord"
+    )
+    if incidents:
+        sections.append("== rollout incidents ==")
+        sections.append(render_table(
+            ["ingest", "t", "canary", "restored", "reason"],
+            [
+                (i, f"{t:.1f}s", f"v{c}", f"v{r}", reason)
+                for i, t, c, r, reason in incidents
+            ],
+        ))
+
+    evolution = appnet_evolution(store)
+    if evolution:
+        sections.append("== AppNet evolution (per monitoring epoch) ==")
+        sections.append(render_table(
+            ["epoch", "observed", "alive", "deleted (cum)", "events"],
+            [
+                (
+                    e.epoch, e.observed, e.alive, e.deleted_cumulative,
+                    ", ".join(
+                        f"{kind}={count}"
+                        for kind, count in sorted(e.events.items())
+                    ) or "-",
+                )
+                for e in evolution
+            ],
+        ))
+
+    timeline = campaign_timeline(store)
+    if timeline:
+        sections.append("== campaign timeline (forensic events) ==")
+        sections.append(render_table(
+            ["epoch", "kind", "apps", "affected"],
+            [
+                (
+                    row.epoch, row.kind, row.count,
+                    ", ".join(row.apps[:4])
+                    + (", ..." if row.count > 4 else ""),
+                )
+                for row in timeline
+            ],
+        ))
+
+    return "\n".join(sections) + "\n"
+
+
+def render_report(
+    store: AnalyticsStore,
+    paper_only: bool = False,
+    window_s: float = 60.0,
+    slo_target: float = 0.99,
+) -> str:
+    """The whole ``repro report`` output."""
+    tables = render_paper_tables(store)
+    if paper_only:
+        return tables
+    parts = []
+    if tables:
+        parts.append("== paper tables (from store) ==\n")
+        parts.append(tables)
+    parts.append(
+        render_operational_views(
+            store, window_s=window_s, slo_target=slo_target
+        )
+    )
+    return "".join(parts)

@@ -1,0 +1,154 @@
+"""Concurrent access and crash safety of the analytics store.
+
+Two contracts (see :mod:`repro.store.db`):
+
+* a reader opened read-only sees only *committed* ingests while a sink
+  holds a write transaction on the same file (WAL snapshot isolation);
+* SIGKILL mid-ingest loses at most the open transaction — reopening the
+  store rolls the torn ingest back, re-offering the same artifacts
+  completes it, and the logical content (:meth:`canonical_bytes`) is
+  identical to a store that was never interrupted.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.store import AnalyticsStore, census, ingest_metrics, ingest_trace
+
+from tests.test_store import METRICS_TEXT, TRACE_TEXT
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_reader_sees_only_committed_ingests(tmp_path):
+    path = tmp_path / "s.sqlite"
+    trace_file = tmp_path / "trace.jsonl"
+    trace_file.write_text(TRACE_TEXT)
+    writer = AnalyticsStore(path)
+    ingest_trace(writer, trace_file)
+
+    reader = AnalyticsStore(path, readonly=True)
+    assert [r.kind for r in census(reader)] == ["trace"]
+
+    # a write transaction is open and has inserted rows, uncommitted
+    con = writer._con
+    con.execute("BEGIN IMMEDIATE")
+    writer.register_ingest(con, "metrics", "open", "0" * 64, 1)
+    con.execute(
+        "INSERT INTO metrics VALUES(2, 0, 'counter', 'x', '{}', "
+        "1.0, NULL, NULL, NULL, NULL)"
+    )
+    assert [r.kind for r in census(reader)] == ["trace"]
+
+    con.commit()
+    assert [r.kind for r in census(reader)] == ["trace", "metrics"]
+    reader.close()
+    writer.close()
+
+
+# -- SIGKILL mid-ingest -------------------------------------------------------
+
+# The victim: ingests the trace artifact (committed), then dies by real
+# SIGKILL *inside* the metrics ingest's write transaction — after rows
+# are inserted, before COMMIT.  The pattern of
+# tests/test_checkpoint_crash.py, aimed at the store.
+_VICTIM = """\
+import os, signal, sys
+from repro.store import AnalyticsStore, ingest_trace
+from repro.store.db import content_sha256
+
+store_path, trace_path, metrics_path = sys.argv[1:4]
+store = AnalyticsStore(store_path)
+ingest_trace(store, trace_path)
+text = open(metrics_path).read()
+con = store._con
+con.execute("BEGIN IMMEDIATE")
+store.register_ingest(
+    con, "metrics", metrics_path, content_sha256(text), 2
+)
+con.execute(
+    "INSERT INTO metrics VALUES(2, 0, 'counter', 'requests_total', "
+    "'{}', 7.0, NULL, NULL, NULL, NULL)"
+)
+os.kill(os.getpid(), signal.SIGKILL)
+"""
+
+
+def test_sigkill_mid_ingest_then_reingest_is_logically_identical(tmp_path):
+    trace_file = tmp_path / "trace.jsonl"
+    trace_file.write_text(TRACE_TEXT)
+    metrics_file = tmp_path / "metrics.jsonl"
+    metrics_file.write_text(METRICS_TEXT)
+
+    # control: the same two ingests, never interrupted
+    control_path = tmp_path / "control.sqlite"
+    with AnalyticsStore(control_path) as store:
+        ingest_trace(store, trace_file)
+        ingest_metrics(store, metrics_file)
+        expected = store.canonical_bytes()
+
+    victim_path = tmp_path / "victim.sqlite"
+    script = tmp_path / "victim.py"
+    script.write_text(_VICTIM)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(script), str(victim_path),
+         str(trace_file), str(metrics_file)],
+        env=env, capture_output=True, timeout=120,
+    )
+    assert proc.returncode == -9, proc.stderr.decode()
+
+    # 'reboot': the torn metrics transaction rolls back; the durable
+    # prefix (the trace ingest) survived
+    with AnalyticsStore(victim_path) as store:
+        assert [r.kind for r in census(store)] == ["trace"]
+        # re-offer everything blindly, the operational norm
+        assert ingest_trace(store, trace_file).skipped
+        assert not ingest_metrics(store, metrics_file).skipped
+        assert store.canonical_bytes() == expected
+
+    # a second blind re-offer changes nothing, logically or physically
+    before = victim_path.read_bytes()
+    with AnalyticsStore(victim_path) as store:
+        assert ingest_trace(store, trace_file).skipped
+        assert ingest_metrics(store, metrics_file).skipped
+        assert store.canonical_bytes() == expected
+    assert victim_path.read_bytes() == before
+
+
+def test_killed_and_control_stores_render_the_same_report(tmp_path):
+    """After crash + re-ingest the *rendered* report matches too."""
+    from repro.store import render_report
+
+    trace_file = tmp_path / "trace.jsonl"
+    trace_file.write_text(TRACE_TEXT)
+    metrics_file = tmp_path / "metrics.jsonl"
+    metrics_file.write_text(METRICS_TEXT)
+
+    control_path = tmp_path / "control.sqlite"
+    with AnalyticsStore(control_path) as store:
+        ingest_trace(store, trace_file, label=str(trace_file))
+        ingest_metrics(store, metrics_file, label=str(metrics_file))
+        expected = render_report(store)
+
+    victim_path = tmp_path / "victim.sqlite"
+    script = tmp_path / "victim.py"
+    script.write_text(_VICTIM)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, str(script), str(victim_path),
+         str(trace_file), str(metrics_file)],
+        env=env, capture_output=True, timeout=120,
+    )
+    assert proc.returncode == -9, proc.stderr.decode()
+
+    with AnalyticsStore(victim_path) as store:
+        ingest_trace(store, trace_file, label=str(trace_file))
+        ingest_metrics(store, metrics_file, label=str(metrics_file))
+        assert render_report(store) == expected
